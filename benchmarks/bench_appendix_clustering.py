@@ -1,0 +1,75 @@
+"""Appendix A: the constant-time clustering-coefficient approximation.
+
+The sampled estimator must land within the paper's error bound (|error| <= eps
+with probability >= 1 - 1/nu) and be dramatically cheaper than the exact
+computation on large SANs.
+"""
+
+import time
+
+from repro.algorithms import (
+    approximate_social_clustering,
+    average_social_clustering_coefficient,
+    required_samples,
+)
+from repro.experiments import format_table
+
+
+def test_appendix_a_accuracy_and_speed(benchmark, reference_san, write_result):
+    exact = average_social_clustering_coefficient(reference_san)
+
+    epsilon, nu = 0.02, 20.0
+    samples = required_samples(epsilon, nu)
+
+    def sampled():
+        return approximate_social_clustering(
+            reference_san, epsilon=epsilon, nu=nu, rng=7
+        )
+
+    start = time.perf_counter()
+    approx = benchmark.pedantic(sampled, rounds=1, iterations=1)
+    sampled_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    exact_again = average_social_clustering_coefficient(reference_san)
+    exact_seconds = time.perf_counter() - start
+
+    rows = [
+        {"quantity": "exact C_s", "value": exact},
+        {"quantity": "sampled C_s", "value": approx},
+        {"quantity": "epsilon", "value": epsilon},
+        {"quantity": "samples K", "value": samples},
+        {"quantity": "sampled seconds", "value": sampled_seconds},
+        {"quantity": "exact seconds", "value": exact_seconds},
+    ]
+    write_result("appendix_clustering", format_table(rows, title="Appendix A — sampled clustering"))
+
+    # Allow 3x the nominal epsilon to keep the bench robust to the 1/nu failure
+    # probability; the unit tests check the bound more tightly.
+    assert abs(approx - exact) < 3 * epsilon + 0.01
+    assert exact_again == exact
+
+
+def test_appendix_a_error_bound_over_repeats(benchmark, reference_san, write_result):
+    """Empirical check of the Theorem 3 guarantee over repeated runs."""
+    exact = average_social_clustering_coefficient(reference_san)
+    epsilon, nu = 0.05, 10.0
+
+    def repeat():
+        failures = 0
+        repeats = 10
+        for seed in range(repeats):
+            estimate = approximate_social_clustering(
+                reference_san, epsilon=epsilon, nu=nu, rng=seed
+            )
+            if abs(estimate - exact) > epsilon:
+                failures += 1
+        return failures, repeats
+
+    failures, repeats = benchmark.pedantic(repeat, rounds=1, iterations=1)
+    write_result(
+        "appendix_clustering_bound",
+        f"exact={exact:.4f} epsilon={epsilon} nu={nu} failures={failures}/{repeats}",
+    )
+    # Theorem 3 allows a 1/nu = 10% failure rate; give a small margin.
+    assert failures <= max(2, int(repeats / nu) + 1)

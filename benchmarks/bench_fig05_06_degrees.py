@@ -1,0 +1,60 @@
+"""Figures 5-6: social degree distributions and the evolution of their fits.
+
+Paper result: both in- and out-degree are best modelled by a discrete
+lognormal rather than a power law, and the fitted (mu, sigma) evolve smoothly
+over the crawl.
+"""
+
+from repro.experiments import (
+    figure5_degree_distributions,
+    figure6_lognormal_parameter_evolution,
+    format_table,
+)
+from repro.fitting import lognormal_vs_power_law
+from repro.metrics import social_in_degrees, social_out_degrees
+
+
+def test_fig05_degree_distributions_lognormal(benchmark, reference_san, write_result):
+    result = benchmark.pedantic(
+        figure5_degree_distributions, args=(reference_san,), rounds=1, iterations=1
+    )
+
+    rows = []
+    for name in ("outdegree", "indegree"):
+        entry = result[name]
+        rows.append(
+            {
+                "degree": name,
+                "best_fit": entry["best_fit"],
+                "lognormal_mu": entry["lognormal_mu"],
+                "lognormal_sigma": entry["lognormal_sigma"],
+                "power_law_alpha": entry["power_law_alpha"],
+            }
+        )
+    write_result("fig05_degree_distributions", format_table(rows, title="Figure 5 — degree fits"))
+
+    # Lognormal must beat the pure power law on both degree directions.
+    for degrees in (social_out_degrees(reference_san), social_in_degrees(reference_san)):
+        positive = [d for d in degrees if d >= 1]
+        assert lognormal_vs_power_law(positive).favours_first
+    for name in ("outdegree", "indegree"):
+        assert result[name]["lognormal_log_likelihood"] > result[name]["power_law_log_likelihood"]
+        assert 0.5 < result[name]["lognormal_sigma"] < 2.5
+
+
+def test_fig06_lognormal_parameter_evolution(benchmark, snapshots, write_result):
+    result = benchmark.pedantic(
+        figure6_lognormal_parameter_evolution, args=(snapshots,), rounds=1, iterations=1
+    )
+    rows = []
+    for name, series in result.items():
+        for day, mu, sigma in series:
+            rows.append({"degree": name, "day": day, "mu": mu, "sigma": sigma})
+    write_result("fig06_lognormal_evolution", format_table(rows, title="Figure 6 — lognormal fits over time"))
+
+    for name in ("outdegree", "indegree"):
+        series = result[name]
+        assert len(series) >= 5
+        # Parameters stay in a plausible band throughout the evolution.
+        assert all(0.0 < mu < 4.0 for _, mu, _ in series)
+        assert all(0.2 < sigma < 3.0 for _, _, sigma in series)

@@ -1,0 +1,61 @@
+"""Figures 7 and 12: joint degree distributions and assortativity.
+
+Paper results: the social assortativity of Google+ is nearly neutral (unlike
+the clearly positive values of Flickr/LiveJournal/Orkut) and declines over
+time; the attribute assortativity is mildly negative/neutral and more stable.
+"""
+
+from repro.experiments import figure7_social_jdd, figure12_attribute_jdd, format_series
+
+
+def test_fig07_social_jdd(benchmark, reference_san, snapshots, write_result):
+    result = benchmark.pedantic(
+        figure7_social_jdd, args=(reference_san, snapshots), rounds=1, iterations=1
+    )
+    text = [
+        format_series(result["knn"], x_label="out_degree", y_label="knn", title="Figure 7a — social knn"),
+        "",
+        format_series(
+            result["assortativity_evolution"],
+            x_label="day",
+            y_label="assortativity",
+            title="Figure 7b — social assortativity",
+        ),
+    ]
+    write_result("fig07_social_jdd", "\n".join(text))
+
+    knn = result["knn"]
+    assert knn, "knn curve must not be empty"
+    assert all(value > 0 for _, value in knn)
+    assortativity = [value for _, value in result["assortativity_evolution"]]
+    # Neutral assortativity: well inside (-0.3, 0.3), unlike traditional OSNs.
+    assert all(abs(value) < 0.3 for value in assortativity)
+
+
+def test_fig12_attribute_jdd(benchmark, reference_san, snapshots, write_result):
+    result = benchmark.pedantic(
+        figure12_attribute_jdd, args=(reference_san, snapshots), rounds=1, iterations=1
+    )
+    text = [
+        format_series(result["knn"], x_label="social_degree", y_label="knn", title="Figure 12a — attribute knn"),
+        "",
+        format_series(
+            result["assortativity_evolution"],
+            x_label="day",
+            y_label="assortativity",
+            title="Figure 12b — attribute assortativity",
+        ),
+    ]
+    write_result("fig12_attribute_jdd", "\n".join(text))
+
+    assert result["knn"]
+    values = [value for _, value in result["assortativity_evolution"]]
+    # Attribute assortativity is neutral-to-slightly-negative and bounded.
+    assert all(abs(value) < 0.4 for value in values)
+
+    # Stability comparison (paper: attribute assortativity is more stable in
+    # phase III than the social one): compare overall ranges.
+    social = figure7_social_jdd(reference_san, snapshots)["assortativity_evolution"]
+    social_range = max(v for _, v in social) - min(v for _, v in social)
+    attribute_range = max(values) - min(values)
+    assert attribute_range < social_range + 0.3

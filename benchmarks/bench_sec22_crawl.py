@@ -1,0 +1,27 @@
+"""Section 2.2: crawl coverage and attribute declaration rate.
+
+Paper: the BFS crawl (using both in- and out-lists) covers >= 70% of the known
+user base, and roughly 22% of users declare at least one attribute.
+"""
+
+from repro.experiments import format_table, section22_crawl_coverage
+from repro.metrics import attribute_declaration_fraction
+
+
+def test_sec22_crawl_coverage(benchmark, snapshot_series, write_result):
+    coverage = benchmark.pedantic(
+        section22_crawl_coverage, args=(snapshot_series,), rounds=1, iterations=1
+    )
+    rows = [{"day": day, "coverage": value} for day, value in sorted(coverage.items())]
+    write_result("sec22_crawl_coverage", format_table(rows, title="Section 2.2 — crawl coverage"))
+
+    assert all(value >= 0.7 for value in coverage.values())
+    assert min(coverage.values()) > 0.0
+
+
+def test_sec22_attribute_declaration_rate(benchmark, reference_san, write_result):
+    fraction = benchmark.pedantic(
+        attribute_declaration_fraction, args=(reference_san,), rounds=1, iterations=1
+    )
+    write_result("sec22_declaration_rate", f"fraction_declaring_at_least_one_attribute={fraction:.4f}")
+    assert 0.12 <= fraction <= 0.35

@@ -1,0 +1,112 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks reproduce every figure of the paper on the synthetic Google+
+substrate.  All expensive inputs (the simulated evolution, the crawled
+snapshot series, the generated model SANs) are session-scoped so each bench
+measures only its own experiment.  Rendered result tables are written to
+``benchmarks/results/`` so the reproduced rows/series are inspectable after a
+run regardless of pytest output capture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.crawler import crawl_evolution
+from repro.models import (
+    SANModelParameters,
+    ZhelModelParameters,
+    estimate_parameters,
+    generate_san,
+    generate_zhel_san,
+)
+from repro.synthetic import BENCH_SEED, build_workload, small_config
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def write_result(results_dir):
+    """Write a rendered experiment report to benchmarks/results/<name>.txt."""
+
+    def _write(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return _write
+
+
+@pytest.fixture(scope="session")
+def workload():
+    """The simulated Google+ evolution used by every measurement bench."""
+    return build_workload(small_config(), rng=BENCH_SEED, snapshot_count=14)
+
+
+@pytest.fixture(scope="session")
+def evolution(workload):
+    return workload.evolution
+
+
+@pytest.fixture(scope="session")
+def snapshot_series(workload):
+    """Crawled daily snapshots (the analogue of the paper's 79 crawls)."""
+    return crawl_evolution(workload.evolution, workload.snapshot_days)
+
+
+@pytest.fixture(scope="session")
+def snapshots(snapshot_series):
+    return list(snapshot_series)
+
+
+@pytest.fixture(scope="session")
+def reference_san(snapshot_series):
+    """The last crawled snapshot — the reference the models are fitted against."""
+    return snapshot_series.last()
+
+
+@pytest.fixture(scope="session")
+def halfway_san(snapshot_series):
+    return snapshot_series.halfway()
+
+
+@pytest.fixture(scope="session")
+def estimated_parameters(reference_san):
+    """Model parameters estimated from the reference SAN (guided initialisation)."""
+    return estimate_parameters(reference_san, mean_sleep=2.0, beta=200.0).parameters
+
+
+@pytest.fixture(scope="session")
+def model_run(estimated_parameters):
+    """Our model fitted to the reference SAN."""
+    return generate_san(estimated_parameters, rng=BENCH_SEED, record_history=True)
+
+
+@pytest.fixture(scope="session")
+def model_run_no_focal(estimated_parameters):
+    params = replace(estimated_parameters, use_focal_closure=False)
+    return generate_san(params, rng=BENCH_SEED, record_history=False)
+
+
+@pytest.fixture(scope="session")
+def model_run_no_lapa(estimated_parameters):
+    params = replace(estimated_parameters, use_lapa=False)
+    return generate_san(params, rng=BENCH_SEED, record_history=False)
+
+
+@pytest.fixture(scope="session")
+def zhel_run(estimated_parameters):
+    """The directed Zhel baseline sized to the same number of social nodes."""
+    params = ZhelModelParameters(
+        steps=estimated_parameters.steps,
+        reciprocation_probability=estimated_parameters.reciprocation_probability,
+        mean_groups_per_node=2.0,
+    )
+    return generate_zhel_san(params, rng=BENCH_SEED, record_history=False)

@@ -1,0 +1,68 @@
+"""Prediction demo: attributes improve reciprocity and link prediction.
+
+Run with::
+
+    python examples/link_prediction_demo.py
+
+Section 4.2 of the paper argues that reciprocity predictors should use node
+attributes: one-directional links between attribute-sharing users are about
+twice as likely to become mutual.  This demo trains two simple logistic
+predictors — structure-only features vs structure+attribute features — on a
+simulated crawl and compares their AUC on reciprocity prediction and link
+prediction.
+"""
+
+from __future__ import annotations
+
+from repro.applications import (
+    build_link_prediction_dataset,
+    build_reciprocity_dataset,
+    compare_predictors,
+)
+from repro.crawler import crawl_evolution
+from repro.experiments import format_table
+from repro.metrics import fine_grained_reciprocity
+from repro.metrics.evolution import PhaseBoundaries
+from repro.metrics.influence import reciprocity_boost_from_attributes
+from repro.synthetic import GooglePlusConfig, build_workload
+
+
+def main() -> None:
+    config = GooglePlusConfig(total_users=1200, num_days=80, phases=PhaseBoundaries(18, 60))
+    workload = build_workload(config, rng=3, snapshot_count=8)
+    series = crawl_evolution(workload.evolution, workload.snapshot_days)
+    earlier, later = series.halfway(), series.last()
+    print(f"Training snapshot: {earlier!r}")
+    print(f"Label snapshot:    {later!r}")
+    print()
+
+    fine = fine_grained_reciprocity(earlier, later)
+    boost = reciprocity_boost_from_attributes(fine)
+    print("Observed reciprocation rates (one-way links at the halfway snapshot):")
+    for bucket, label in ((0, "no shared attribute"), (1, "1 shared attribute"), (2, ">=2 shared attributes")):
+        rate = fine.average_rate_for_attribute_bucket(bucket)
+        print(f"  {label:24s}: {'n/a' if rate is None else f'{rate:.3f}'}")
+    print(f"  boost from sharing        : {boost:.2f}x" if boost else "  boost: n/a")
+    print()
+
+    rows = []
+    for task, builder in (
+        ("reciprocity prediction", build_reciprocity_dataset),
+        ("link prediction", build_link_prediction_dataset),
+    ):
+        dataset = builder(earlier, later, max_pairs=1500, rng=17)
+        aucs = compare_predictors(dataset, rng=18)
+        rows.append(
+            {
+                "task": task,
+                "examples": len(dataset.labels),
+                "positives": sum(dataset.labels),
+                "auc_structure_only": aucs["structure_only"],
+                "auc_with_attributes": aucs["structure_plus_attributes"],
+            }
+        )
+    print(format_table(rows, title="Predictor comparison (structure vs structure+attributes)"))
+
+
+if __name__ == "__main__":
+    main()

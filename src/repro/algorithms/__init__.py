@@ -1,0 +1,111 @@
+"""Graph algorithms: traversal, components, HyperANF, clustering, sampling, walks."""
+
+from .approx_clustering import (
+    approximate_attribute_clustering,
+    approximate_average_clustering,
+    approximate_social_clustering,
+    required_samples,
+    triple_score,
+)
+from .clustering import (
+    average_attribute_clustering_coefficient,
+    average_clustering_for_attribute_type,
+    average_social_clustering_coefficient,
+    clustering_by_degree,
+    directed_links_among,
+    node_clustering_coefficient,
+)
+from .components import (
+    largest_weakly_connected_component,
+    restrict_san_to_largest_wcc,
+    strongly_connected_components,
+    wcc_fraction,
+    weakly_connected_components,
+)
+from .hyperanf import (
+    effective_diameter,
+    effective_diameter_from_neighbourhood,
+    exact_neighbourhood_function,
+    neighbourhood_function,
+)
+from .hyperloglog import HyperLogLog
+from .random_walk import (
+    capped_undirected_adjacency,
+    random_walk,
+    random_walk_on_san,
+    stationary_degree_distribution,
+)
+from .sampling import (
+    drop_users_attributes,
+    reservoir_sample,
+    sample_nodes,
+    sample_social_edges,
+    subsample_attributes,
+    weighted_choice,
+)
+from .traversal import (
+    attribute_distance,
+    bfs_distances,
+    effective_diameter_from_histogram,
+    sample_attribute_distance_distribution,
+    sample_distance_distribution,
+    shortest_path_length,
+    undirected_bfs_distances,
+)
+from .triangles import (
+    ClosureBreakdown,
+    classify_closures,
+    count_directed_triangles,
+    is_focal_closure,
+    is_triadic_closure,
+    two_hop_san_neighbors,
+    two_hop_social_neighbors,
+)
+
+__all__ = [
+    "HyperLogLog",
+    "approximate_attribute_clustering",
+    "approximate_average_clustering",
+    "approximate_social_clustering",
+    "required_samples",
+    "triple_score",
+    "average_attribute_clustering_coefficient",
+    "average_clustering_for_attribute_type",
+    "average_social_clustering_coefficient",
+    "clustering_by_degree",
+    "directed_links_among",
+    "node_clustering_coefficient",
+    "largest_weakly_connected_component",
+    "restrict_san_to_largest_wcc",
+    "strongly_connected_components",
+    "wcc_fraction",
+    "weakly_connected_components",
+    "effective_diameter",
+    "effective_diameter_from_neighbourhood",
+    "exact_neighbourhood_function",
+    "neighbourhood_function",
+    "capped_undirected_adjacency",
+    "random_walk",
+    "random_walk_on_san",
+    "stationary_degree_distribution",
+    "drop_users_attributes",
+    "reservoir_sample",
+    "sample_nodes",
+    "sample_social_edges",
+    "subsample_attributes",
+    "weighted_choice",
+    "attribute_distance",
+    "bfs_distances",
+    "effective_diameter_from_histogram",
+    "sample_attribute_distance_distribution",
+    "sample_distance_distribution",
+    "shortest_path_length",
+    "undirected_bfs_distances",
+    "ClosureBreakdown",
+    "classify_closures",
+    "count_directed_triangles",
+    "is_focal_closure",
+    "is_triadic_closure",
+    "two_hop_san_neighbors",
+    "two_hop_social_neighbors",
+]

@@ -1,0 +1,113 @@
+"""Connected-component algorithms (weakly connected components on the social layer).
+
+The Google+ crawl in the paper covers a large weakly connected component
+(Section 2.2); the crawler substrate and several metrics need WCC extraction.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterable, List, Set
+
+from ..graph.digraph import DiGraph
+from ..graph.san import SAN
+
+Node = Hashable
+
+
+def weakly_connected_components(graph: DiGraph) -> List[Set[Node]]:
+    """All weakly connected components, largest first."""
+    adjacency = graph.to_undirected_adjacency()
+    seen: Set[Node] = set()
+    components: List[Set[Node]] = []
+    for start in adjacency:
+        if start in seen:
+            continue
+        component: Set[Node] = {start}
+        frontier = deque([start])
+        seen.add(start)
+        while frontier:
+            node = frontier.popleft()
+            for neighbor in adjacency[node]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    component.add(neighbor)
+                    frontier.append(neighbor)
+        components.append(component)
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def largest_weakly_connected_component(graph: DiGraph) -> Set[Node]:
+    """Node set of the largest WCC (empty set for an empty graph)."""
+    components = weakly_connected_components(graph)
+    return components[0] if components else set()
+
+
+def wcc_fraction(graph: DiGraph) -> float:
+    """Fraction of nodes inside the largest WCC."""
+    total = graph.number_of_nodes()
+    if total == 0:
+        return 0.0
+    return len(largest_weakly_connected_component(graph)) / total
+
+
+def restrict_san_to_largest_wcc(san: SAN) -> SAN:
+    """Induced SAN on the largest weakly connected social component."""
+    component = largest_weakly_connected_component(san.social)
+    return san.social_subgraph(component)
+
+
+def strongly_connected_components(graph: DiGraph) -> List[Set[Node]]:
+    """Strongly connected components via iterative Tarjan, largest first.
+
+    Included for completeness of the substrate (reciprocity-heavy subgraphs are
+    strongly connected); implemented iteratively to avoid recursion limits on
+    large crawls.
+    """
+    index_counter = 0
+    indices: Dict[Node, int] = {}
+    lowlinks: Dict[Node, int] = {}
+    on_stack: Set[Node] = set()
+    stack: List[Node] = []
+    components: List[Set[Node]] = []
+
+    for root in graph.nodes():
+        if root in indices:
+            continue
+        work: List[tuple] = [(root, iter(graph.successors(root)))]
+        indices[root] = lowlinks[root] = index_counter
+        index_counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for successor in successors:
+                if successor not in indices:
+                    indices[successor] = lowlinks[successor] = index_counter
+                    index_counter += 1
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append((successor, iter(graph.successors(successor))))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlinks[node] = min(lowlinks[node], indices[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
+            if lowlinks[node] == indices[node]:
+                component: Set[Node] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(component)
+    components.sort(key=len, reverse=True)
+    return components

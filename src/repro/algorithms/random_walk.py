@@ -1,0 +1,82 @@
+"""Random walks on the social layer of a SAN.
+
+Both application benchmarks (SybilLimit random routes and Drac-style
+anonymous-communication path selection) are built on random walks over the
+undirected projection of the social graph, optionally with a degree cap as the
+paper imposes (bound of 100).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Set
+
+from ..graph.digraph import DiGraph
+from ..graph.san import SAN
+from ..utils.rng import RngLike, ensure_rng
+
+Node = Hashable
+
+
+def capped_undirected_adjacency(
+    graph: DiGraph, degree_cap: Optional[int] = None, rng: RngLike = None
+) -> Dict[Node, List[Node]]:
+    """Undirected adjacency lists with each node's neighbor list capped.
+
+    SybilLimit bounds the effective node degree; when a node exceeds the cap a
+    uniform subset of its neighbors of exactly ``degree_cap`` is retained.  The
+    cap is applied per endpoint, so the resulting structure may be asymmetric
+    (as in the deployed protocol where each node selects its own edges).
+    """
+    generator = ensure_rng(rng)
+    adjacency: Dict[Node, List[Node]] = {}
+    for node in graph.nodes():
+        neighbors = list(graph.neighbors(node))
+        if degree_cap is not None and len(neighbors) > degree_cap:
+            neighbors = generator.sample(neighbors, degree_cap)
+        adjacency[node] = neighbors
+    return adjacency
+
+
+def random_walk(
+    adjacency: Dict[Node, Sequence[Node]],
+    start: Node,
+    length: int,
+    rng: RngLike = None,
+) -> List[Node]:
+    """A simple random walk of ``length`` steps starting at ``start``.
+
+    Returns the visited node sequence including the start; the walk stops early
+    at a node with no neighbors.
+    """
+    generator = ensure_rng(rng)
+    path = [start]
+    current = start
+    for _ in range(length):
+        neighbors = adjacency.get(current)
+        if not neighbors:
+            break
+        current = neighbors[generator.randrange(len(neighbors))]
+        path.append(current)
+    return path
+
+
+def random_walk_on_san(
+    san: SAN,
+    start: Node,
+    length: int,
+    degree_cap: Optional[int] = None,
+    rng: RngLike = None,
+) -> List[Node]:
+    """Convenience wrapper: random walk on a SAN's undirected social projection."""
+    generator = ensure_rng(rng)
+    adjacency = capped_undirected_adjacency(san.social, degree_cap=degree_cap, rng=generator)
+    return random_walk(adjacency, start, length, rng=generator)
+
+
+def stationary_degree_distribution(adjacency: Dict[Node, Sequence[Node]]) -> Dict[Node, float]:
+    """Stationary distribution of the simple random walk (proportional to degree)."""
+    total = sum(len(neighbors) for neighbors in adjacency.values())
+    if total == 0:
+        size = len(adjacency)
+        return {node: 1.0 / size for node in adjacency} if size else {}
+    return {node: len(neighbors) / total for node, neighbors in adjacency.items()}

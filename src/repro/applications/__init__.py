@@ -1,0 +1,47 @@
+"""Application benchmarks: Sybil defense, anonymous communication, prediction."""
+
+from .anonymity import (
+    AnonymityParameters,
+    AnonymityResult,
+    attack_probability_vs_compromised,
+    end_to_end_attack_probability,
+)
+from .link_prediction import (
+    ALL_FEATURES,
+    STRUCTURE_FEATURES,
+    LogisticPredictor,
+    PredictionDataset,
+    auc_score,
+    build_link_prediction_dataset,
+    build_reciprocity_dataset,
+    compare_predictors,
+    pair_features,
+)
+from .sybil import (
+    SybilDefenseResult,
+    SybilLimitParameters,
+    acceptance_probability,
+    count_attack_edges,
+    sybil_identities_vs_compromised,
+)
+
+__all__ = [
+    "AnonymityParameters",
+    "AnonymityResult",
+    "attack_probability_vs_compromised",
+    "end_to_end_attack_probability",
+    "ALL_FEATURES",
+    "STRUCTURE_FEATURES",
+    "LogisticPredictor",
+    "PredictionDataset",
+    "auc_score",
+    "build_link_prediction_dataset",
+    "build_reciprocity_dataset",
+    "compare_predictors",
+    "pair_features",
+    "SybilDefenseResult",
+    "SybilLimitParameters",
+    "acceptance_probability",
+    "count_attack_edges",
+    "sybil_identities_vs_compromised",
+]

@@ -1,0 +1,94 @@
+"""Social-network-based anonymous communication (Figure 19b).
+
+Drac-style systems select relay proxies by performing a random walk over the
+social network.  For low-latency traffic, anonymity is broken when both the
+first and the last relay of a circuit are compromised (end-to-end timing
+analysis).  The paper's experiment compromises nodes uniformly at random
+(with the same degree bound of 100 used in the Sybil experiment) and reports
+the probability that a random-walk-built circuit has compromised first and
+last hops, comparing the real Google+ topology against model-generated ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Set
+
+from ..algorithms.random_walk import capped_undirected_adjacency, random_walk
+from ..graph.san import SAN
+from ..utils.rng import RngLike, ensure_rng
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class AnonymityParameters:
+    """Parameters of the timing-analysis experiment."""
+
+    circuit_length: int = 3      # number of relays in a circuit
+    degree_bound: int = 100      # effective node degree cap
+    num_circuits: int = 2000     # Monte-Carlo circuits per compromise level
+
+
+@dataclass
+class AnonymityResult:
+    """Outcome of one compromise level."""
+
+    num_compromised: int
+    attack_probability: float
+
+
+def end_to_end_attack_probability(
+    san: SAN,
+    compromised: Set[Node],
+    params: AnonymityParameters = AnonymityParameters(),
+    rng: RngLike = None,
+) -> float:
+    """Monte-Carlo probability that a circuit's first and last relays are compromised.
+
+    Circuits are built by a random walk of ``circuit_length`` hops starting at
+    a uniformly random honest initiator; the first relay is the first hop and
+    the last relay the final hop of the walk.
+    """
+    generator = ensure_rng(rng)
+    adjacency = capped_undirected_adjacency(
+        san.social, degree_cap=params.degree_bound, rng=generator
+    )
+    nodes = [node for node in adjacency if node not in compromised]
+    if not nodes:
+        return 0.0
+    attacks = 0
+    built = 0
+    for _ in range(params.num_circuits):
+        initiator = nodes[generator.randrange(len(nodes))]
+        path = random_walk(adjacency, initiator, params.circuit_length, rng=generator)
+        if len(path) < params.circuit_length + 1:
+            continue
+        built += 1
+        first_relay = path[1]
+        last_relay = path[-1]
+        if first_relay in compromised and last_relay in compromised:
+            attacks += 1
+    if built == 0:
+        return 0.0
+    return attacks / built
+
+
+def attack_probability_vs_compromised(
+    san: SAN,
+    compromised_counts: Sequence[int],
+    params: AnonymityParameters = AnonymityParameters(),
+    rng: RngLike = None,
+) -> List[AnonymityResult]:
+    """The Figure 19b experiment: timing-analysis probability per compromise level."""
+    generator = ensure_rng(rng)
+    nodes = list(san.social_nodes())
+    results: List[AnonymityResult] = []
+    for count in compromised_counts:
+        actual = min(count, len(nodes))
+        compromised = set(generator.sample(nodes, actual)) if actual else set()
+        probability = end_to_end_attack_probability(
+            san, compromised, params=params, rng=generator
+        )
+        results.append(AnonymityResult(num_compromised=actual, attack_probability=probability))
+    return results

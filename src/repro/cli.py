@@ -1,0 +1,168 @@
+"""Command-line interface for the SAN reproduction library.
+
+Four subcommands cover the common workflows without writing any Python:
+
+* ``simulate``  — run the synthetic Google+ evolution and save the final SAN
+  (or a chosen day's snapshot) as a TSV pair.
+* ``measure``   — load a SAN from a TSV pair and print the paper's headline
+  metrics.
+* ``estimate``  — estimate the generative-model parameters from a SAN file.
+* ``generate``  — run the generative model (optionally with parameters
+  estimated from a reference SAN) and save the synthetic SAN.
+
+Examples
+--------
+::
+
+    python -m repro simulate --users 2000 --days 98 --out-prefix /tmp/gplus
+    python -m repro measure --social /tmp/gplus.social.tsv --attributes /tmp/gplus.attrs.tsv
+    python -m repro estimate --social /tmp/gplus.social.tsv --attributes /tmp/gplus.attrs.tsv
+    python -m repro generate --steps 2000 --out-prefix /tmp/synthetic
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .crawler import crawl_evolution
+from .graph import SAN, load_san_tsv, save_san_tsv
+from .metrics import format_report, san_metric_report
+from .metrics.evolution import PhaseBoundaries
+from .models import SANModelParameters, estimate_parameters, generate_san
+from .synthetic import GooglePlusConfig, build_workload, standard_snapshot_days
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Social-Attribute Network measurement and modeling (IMC 2012 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    simulate = subparsers.add_parser(
+        "simulate", help="simulate a Google+-like evolution and save the crawled SAN"
+    )
+    simulate.add_argument("--users", type=int, default=2000, help="total users to simulate")
+    simulate.add_argument("--days", type=int, default=98, help="number of simulated days")
+    simulate.add_argument("--phase-one-end", type=int, default=20)
+    simulate.add_argument("--phase-two-end", type=int, default=75)
+    simulate.add_argument("--seed", type=int, default=20120835)
+    simulate.add_argument("--day", type=int, default=None, help="snapshot day to save (default: last)")
+    simulate.add_argument("--out-prefix", required=True, help="output prefix for <prefix>.social.tsv / <prefix>.attrs.tsv")
+
+    measure = subparsers.add_parser("measure", help="print headline metrics of a SAN TSV pair")
+    measure.add_argument("--social", required=True, help="social edge TSV (source<TAB>target)")
+    measure.add_argument("--attributes", required=True, help="attribute TSV (user<TAB>type<TAB>value)")
+    measure.add_argument("--no-diameter", action="store_true", help="skip the effective-diameter estimate")
+    measure.add_argument("--seed", type=int, default=0)
+
+    estimate = subparsers.add_parser(
+        "estimate", help="estimate generative-model parameters from a SAN TSV pair"
+    )
+    estimate.add_argument("--social", required=True)
+    estimate.add_argument("--attributes", required=True)
+    estimate.add_argument("--mean-sleep", type=float, default=2.0)
+    estimate.add_argument("--beta", type=float, default=200.0)
+
+    generate = subparsers.add_parser(
+        "generate", help="generate a synthetic SAN with the paper's model (Algorithm 1)"
+    )
+    generate.add_argument("--steps", type=int, default=2000, help="number of new social nodes")
+    generate.add_argument("--seed", type=int, default=1)
+    generate.add_argument("--reference-social", default=None, help="optional reference SAN to estimate parameters from")
+    generate.add_argument("--reference-attributes", default=None)
+    generate.add_argument("--no-lapa", action="store_true", help="ablation: classical PA instead of LAPA")
+    generate.add_argument("--no-focal-closure", action="store_true", help="ablation: RR instead of RR-SAN")
+    generate.add_argument("--out-prefix", required=True)
+
+    return parser
+
+
+def _save(san: SAN, prefix: str) -> None:
+    save_san_tsv(san, f"{prefix}.social.tsv", f"{prefix}.attrs.tsv")
+    print(f"wrote {prefix}.social.tsv ({san.number_of_social_edges()} social links)")
+    print(f"wrote {prefix}.attrs.tsv ({san.number_of_attribute_edges()} attribute links)")
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    config = GooglePlusConfig(
+        total_users=args.users,
+        num_days=args.days,
+        phases=PhaseBoundaries(args.phase_one_end, args.phase_two_end),
+    )
+    workload = build_workload(config, rng=args.seed, snapshot_count=14)
+    day = args.day if args.day is not None else args.days
+    if not 1 <= day <= args.days:
+        print(f"error: --day must be in [1, {args.days}]", file=sys.stderr)
+        return 2
+    series = crawl_evolution(workload.evolution, [day])
+    san = series.at(day)
+    print(f"simulated {args.users} users over {args.days} days; crawled day {day}: {san!r}")
+    _save(san, args.out_prefix)
+    return 0
+
+
+def _command_measure(args: argparse.Namespace) -> int:
+    san = load_san_tsv(args.social, args.attributes)
+    report = san_metric_report(
+        san, include_diameter=not args.no_diameter, rng=args.seed
+    )
+    print(format_report(report, title=f"SAN metrics ({args.social})"))
+    return 0
+
+
+def _command_estimate(args: argparse.Namespace) -> int:
+    san = load_san_tsv(args.social, args.attributes)
+    result = estimate_parameters(san, mean_sleep=args.mean_sleep, beta=args.beta)
+    params = result.parameters
+    print("Estimated generative-model parameters:")
+    print(f"  steps                    {params.steps}")
+    print(f"  lifetime.mu              {params.lifetime.mu:.4f}")
+    print(f"  lifetime.sigma           {params.lifetime.sigma:.4f}")
+    print(f"  lifetime.mean_sleep      {params.lifetime.mean_sleep:.4f}")
+    print(f"  attribute_mu             {params.attribute_mu:.4f}")
+    print(f"  attribute_sigma          {params.attribute_sigma:.4f}")
+    print(f"  new_attribute_probability {params.new_attribute_probability:.4f}")
+    print(f"  attachment.alpha         {params.attachment.alpha:.2f}")
+    print(f"  attachment.beta          {params.attachment.beta:.2f}")
+    print(f"  reciprocation_probability {params.reciprocation_probability:.4f}")
+    return 0
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    if args.reference_social and args.reference_attributes:
+        reference = load_san_tsv(args.reference_social, args.reference_attributes)
+        params = replace(estimate_parameters(reference).parameters, steps=args.steps)
+    else:
+        params = SANModelParameters(steps=args.steps)
+    if args.no_lapa:
+        params = replace(params, use_lapa=False)
+    if args.no_focal_closure:
+        params = replace(params, use_focal_closure=False)
+    run = generate_san(params, rng=args.seed, record_history=False)
+    print(f"generated {run.san!r}")
+    _save(run.san, args.out_prefix)
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _command_simulate,
+    "measure": _command_measure,
+    "estimate": _command_estimate,
+    "generate": _command_generate,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

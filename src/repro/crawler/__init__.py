@@ -1,0 +1,16 @@
+"""Crawler substrate: privacy model, BFS crawler, daily snapshot series."""
+
+from .crawler import BFSCrawler, CrawlResult, crawl_snapshot
+from .privacy import FULLY_PUBLIC, PrivacyModel
+from .snapshots import DailyCrawler, SnapshotSeries, crawl_evolution
+
+__all__ = [
+    "BFSCrawler",
+    "CrawlResult",
+    "crawl_snapshot",
+    "FULLY_PUBLIC",
+    "PrivacyModel",
+    "DailyCrawler",
+    "SnapshotSeries",
+    "crawl_evolution",
+]

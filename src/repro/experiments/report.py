@@ -1,0 +1,85 @@
+"""Plain-text rendering of experiment results (series and tables).
+
+The benchmark harness prints the same rows/series the paper's figures show;
+these helpers keep that formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+
+def format_series(
+    series: Sequence[Tuple[float, float]],
+    x_label: str = "x",
+    y_label: str = "y",
+    title: Optional[str] = None,
+    precision: int = 4,
+) -> str:
+    """Render an ``(x, y)`` series as an aligned two-column table."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = f"{x_label:>12}  {y_label:>14}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for x, y in series:
+        lines.append(f"{x:>12g}  {y:>14.{precision}g}")
+    return "\n".join(lines)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    precision: int = 4,
+) -> str:
+    """Render a list of row dictionaries as an aligned text table."""
+    if not rows:
+        return title or "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.{precision}g}"
+        return str(value)
+
+    rendered = [[cell(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), max(len(row[index]) for row in rendered))
+        for index, column in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(column).ljust(widths[index]) for index, column in enumerate(columns)))
+    lines.append("  ".join("-" * widths[index] for index in range(len(columns))))
+    for row in rendered:
+        lines.append("  ".join(row[index].ljust(widths[index]) for index in range(len(columns))))
+    return "\n".join(lines)
+
+
+def format_distribution(
+    points: Sequence[Tuple[float, float]],
+    title: Optional[str] = None,
+    x_label: str = "degree",
+    y_label: str = "probability",
+) -> str:
+    """Render a (log-binned) distribution as a table."""
+    return format_series(points, x_label=x_label, y_label=y_label, title=title, precision=6)
+
+
+def series_trend(series: Sequence[Tuple[float, float]]) -> str:
+    """A one-word trend summary ('increasing', 'decreasing', 'flat') of a series."""
+    if len(series) < 2:
+        return "flat"
+    first = series[0][1]
+    last = series[-1][1]
+    scale = max(abs(first), abs(last), 1e-12)
+    change = (last - first) / scale
+    if change > 0.05:
+        return "increasing"
+    if change < -0.05:
+        return "decreasing"
+    return "flat"

@@ -1,0 +1,45 @@
+"""Graph substrate: directed social graph, bipartite attribute layer, SAN."""
+
+from .bipartite import AttributeInfo, BipartiteAttributeGraph
+from .builders import (
+    attribute_node_id,
+    complete_seed_san,
+    merge_sans,
+    relabel_social_nodes,
+    san_from_edge_lists,
+    san_from_profiles,
+)
+from .digraph import DiGraph
+from .errors import (
+    DuplicateNodeError,
+    EdgeNotFoundError,
+    GraphError,
+    InvalidNodeKindError,
+    NodeNotFoundError,
+    SerializationError,
+)
+from .san import SAN
+from .serialization import load_san_json, load_san_tsv, save_san_json, save_san_tsv
+
+__all__ = [
+    "AttributeInfo",
+    "BipartiteAttributeGraph",
+    "DiGraph",
+    "SAN",
+    "attribute_node_id",
+    "complete_seed_san",
+    "merge_sans",
+    "relabel_social_nodes",
+    "san_from_edge_lists",
+    "san_from_profiles",
+    "load_san_json",
+    "load_san_tsv",
+    "save_san_json",
+    "save_san_tsv",
+    "GraphError",
+    "NodeNotFoundError",
+    "EdgeNotFoundError",
+    "DuplicateNodeError",
+    "InvalidNodeKindError",
+    "SerializationError",
+]

@@ -1,0 +1,135 @@
+"""Helpers for constructing SANs from edge lists, profiles, and seed shapes."""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Mapping, Sequence, Tuple
+
+from .san import SAN
+
+SocialEdge = Tuple[Hashable, Hashable]
+AttributeRecord = Tuple[Hashable, str, str]
+
+
+def attribute_node_id(attr_type: str, value: str) -> str:
+    """Canonical attribute-node identifier: ``"<type>:<value>"``."""
+    return f"{attr_type}:{value}"
+
+
+def san_from_edge_lists(
+    social_edges: Iterable[SocialEdge],
+    attribute_records: Iterable[AttributeRecord] = (),
+) -> SAN:
+    """Build a SAN from a directed social edge list and attribute records.
+
+    Parameters
+    ----------
+    social_edges:
+        Iterable of ``(source, target)`` directed social links.
+    attribute_records:
+        Iterable of ``(social_node, attr_type, value)`` triples; the attribute
+        node id is derived with :func:`attribute_node_id`.
+    """
+    san = SAN()
+    for source, target in social_edges:
+        san.add_social_edge(source, target)
+    for social, attr_type, value in attribute_records:
+        san.add_attribute_edge(
+            social, attribute_node_id(attr_type, value), attr_type=attr_type, value=value
+        )
+    return san
+
+
+def san_from_profiles(
+    social_edges: Iterable[SocialEdge],
+    profiles: Mapping[Hashable, Mapping[str, Sequence[str]]],
+) -> SAN:
+    """Build a SAN from an edge list plus per-user profile dictionaries.
+
+    ``profiles`` maps a social node to ``{attr_type: [values, ...]}``, which is
+    the natural shape of a crawled user profile (a user can declare several
+    schools or employers).
+    """
+    records = []
+    for social, profile in profiles.items():
+        for attr_type, values in profile.items():
+            for value in values:
+                records.append((social, attr_type, value))
+    san = san_from_edge_lists(social_edges, records)
+    # Ensure users with a profile but no social edges still appear.
+    for social in profiles:
+        san.add_social_node(social)
+    return san
+
+
+def complete_seed_san(num_social: int = 5, num_attributes: int = 5) -> SAN:
+    """The paper's initialization: a complete SAN with a few nodes of each kind.
+
+    Every ordered pair of social nodes is connected in both directions and every
+    social node holds every attribute.  Used to seed the generative model
+    (Section 5.3, "Initialization").
+    """
+    san = SAN()
+    social_nodes = list(range(num_social))
+    attribute_nodes = [attribute_node_id("seed", str(i)) for i in range(num_attributes)]
+    for node in social_nodes:
+        san.add_social_node(node)
+    for source in social_nodes:
+        for target in social_nodes:
+            if source != target:
+                san.add_social_edge(source, target)
+    for social in social_nodes:
+        for index, attribute in enumerate(attribute_nodes):
+            san.add_attribute_edge(
+                social, attribute, attr_type="seed", value=str(index)
+            )
+    return san
+
+
+def directed_graph_edges_from_undirected(
+    undirected_edges: Iterable[SocialEdge],
+) -> Iterable[SocialEdge]:
+    """Expand undirected edges to both directed orientations.
+
+    Used when adapting undirected baseline models (e.g. the original Zheleva
+    et al. model) to the directed SAN setting.
+    """
+    for first, second in undirected_edges:
+        yield (first, second)
+        yield (second, first)
+
+
+def merge_sans(base: SAN, other: SAN) -> SAN:
+    """Union of two SANs (node/edge sets merged); neither input is modified."""
+    merged = base.copy()
+    for source, target in other.social_edges():
+        merged.add_social_edge(source, target)
+    for node in other.social_nodes():
+        merged.add_social_node(node)
+    for social, attribute in other.attribute_edges():
+        info = other.attribute_info(attribute)
+        merged.add_attribute_edge(
+            social, attribute, attr_type=info.attr_type, value=info.value
+        )
+    return merged
+
+
+def relabel_social_nodes(san: SAN, mapping: Dict[Hashable, Hashable]) -> SAN:
+    """Return a copy of ``san`` with social node ids replaced via ``mapping``.
+
+    Nodes absent from ``mapping`` keep their identity.  Attribute node ids are
+    preserved.
+    """
+    relabeled = SAN()
+    for node in san.social_nodes():
+        relabeled.add_social_node(mapping.get(node, node))
+    for source, target in san.social_edges():
+        relabeled.add_social_edge(mapping.get(source, source), mapping.get(target, target))
+    for social, attribute in san.attribute_edges():
+        info = san.attribute_info(attribute)
+        relabeled.add_attribute_edge(
+            mapping.get(social, social),
+            attribute,
+            attr_type=info.attr_type,
+            value=info.value,
+        )
+    return relabeled

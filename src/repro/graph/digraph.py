@@ -1,0 +1,211 @@
+"""A directed graph tailored to social-network measurement workloads.
+
+The class keeps both out-adjacency and in-adjacency as dictionaries of sets so
+that the metrics used throughout the paper (reciprocity, in/out degree,
+knn, triangle closure) are all O(1) or O(degree) operations.  Nodes may be any
+hashable object; the library conventionally uses integers for social nodes.
+
+Only the features required by the reproduction are implemented — this is a
+purpose-built substrate, not a general graph library.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, Set, Tuple
+
+from .errors import NodeNotFoundError
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+
+class DiGraph:
+    """Directed graph with O(1) edge queries and both adjacency directions.
+
+    Examples
+    --------
+    >>> g = DiGraph()
+    >>> g.add_edge(1, 2)
+    >>> g.add_edge(2, 1)
+    >>> g.has_edge(1, 2), g.is_reciprocal(1, 2)
+    (True, True)
+    >>> g.out_degree(1), g.in_degree(1)
+    (1, 1)
+    """
+
+    __slots__ = ("_succ", "_pred", "_num_edges")
+
+    def __init__(self, edges: Iterable[Edge] | None = None) -> None:
+        self._succ: Dict[Node, Set[Node]] = {}
+        self._pred: Dict[Node, Set[Node]] = {}
+        self._num_edges = 0
+        if edges is not None:
+            for source, target in edges:
+                self.add_edge(source, target)
+
+    # ------------------------------------------------------------------
+    # Node operations
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        """Add ``node`` if it is not already present (idempotent)."""
+        if node not in self._succ:
+            self._succ[node] = set()
+            self._pred[node] = set()
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and every incident edge."""
+        if node not in self._succ:
+            raise NodeNotFoundError(node)
+        removed = len(self._succ[node]) + len(self._pred[node])
+        if node in self._succ[node]:
+            removed -= 1  # a self-loop is one edge but appears in both sets
+        for target in self._succ[node]:
+            self._pred[target].discard(node)
+        for source in self._pred[node]:
+            if source in self._succ:
+                self._succ[source].discard(node)
+        self._num_edges -= removed
+        del self._succ[node]
+        del self._pred[node]
+
+    def has_node(self, node: Node) -> bool:
+        return node in self._succ
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._succ
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over all nodes (insertion order)."""
+        return iter(self._succ)
+
+    def number_of_nodes(self) -> int:
+        return len(self._succ)
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    # ------------------------------------------------------------------
+    # Edge operations
+    # ------------------------------------------------------------------
+    def add_edge(self, source: Node, target: Node) -> bool:
+        """Add the directed edge ``source -> target``.
+
+        Returns ``True`` if the edge was newly inserted, ``False`` if it was
+        already present.  Self-loops are permitted but never created by the
+        library's own generators.
+        """
+        self.add_node(source)
+        self.add_node(target)
+        if target in self._succ[source]:
+            return False
+        self._succ[source].add(target)
+        self._pred[target].add(source)
+        self._num_edges += 1
+        return True
+
+    def remove_edge(self, source: Node, target: Node) -> None:
+        if source not in self._succ or target not in self._succ[source]:
+            from .errors import EdgeNotFoundError
+
+            raise EdgeNotFoundError(source, target)
+        self._succ[source].discard(target)
+        self._pred[target].discard(source)
+        self._num_edges -= 1
+
+    def has_edge(self, source: Node, target: Node) -> bool:
+        succ = self._succ.get(source)
+        return succ is not None and target in succ
+
+    def is_reciprocal(self, source: Node, target: Node) -> bool:
+        """Return ``True`` when both directed edges exist between the pair."""
+        return self.has_edge(source, target) and self.has_edge(target, source)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all directed edges as ``(source, target)`` tuples."""
+        for source, targets in self._succ.items():
+            for target in targets:
+                yield (source, target)
+
+    def number_of_edges(self) -> int:
+        return self._num_edges
+
+    # ------------------------------------------------------------------
+    # Neighborhood accessors
+    # ------------------------------------------------------------------
+    def successors(self, node: Node) -> Set[Node]:
+        """Out-neighbors of ``node`` (the paper's :math:`\\Gamma_{s,out}`)."""
+        try:
+            return self._succ[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def predecessors(self, node: Node) -> Set[Node]:
+        """In-neighbors of ``node`` (the paper's :math:`\\Gamma_{s,in}`)."""
+        try:
+            return self._pred[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def neighbors(self, node: Node) -> Set[Node]:
+        """Union of in- and out-neighbors, excluding ``node`` itself."""
+        union = self.successors(node) | self.predecessors(node)
+        union.discard(node)
+        return union
+
+    def out_degree(self, node: Node) -> int:
+        return len(self.successors(node))
+
+    def in_degree(self, node: Node) -> int:
+        return len(self.predecessors(node))
+
+    def degree(self, node: Node) -> int:
+        """Number of distinct neighbors (undirected view)."""
+        return len(self.neighbors(node))
+
+    # ------------------------------------------------------------------
+    # Convenience / whole-graph views
+    # ------------------------------------------------------------------
+    def copy(self) -> "DiGraph":
+        clone = DiGraph()
+        clone._succ = {node: set(targets) for node, targets in self._succ.items()}
+        clone._pred = {node: set(sources) for node, sources in self._pred.items()}
+        clone._num_edges = self._num_edges
+        return clone
+
+    def subgraph(self, nodes: Iterable[Node]) -> "DiGraph":
+        """Return the induced subgraph on ``nodes`` (edges with both ends inside)."""
+        keep = set(nodes)
+        sub = DiGraph()
+        for node in keep:
+            if node in self._succ:
+                sub.add_node(node)
+        for node in keep:
+            if node not in self._succ:
+                continue
+            for target in self._succ[node]:
+                if target in keep:
+                    sub.add_edge(node, target)
+        return sub
+
+    def to_undirected_adjacency(self) -> Dict[Node, Set[Node]]:
+        """Adjacency map of the undirected projection (used by WCC / diameter)."""
+        adjacency: Dict[Node, Set[Node]] = {node: set() for node in self._succ}
+        for source, targets in self._succ.items():
+            for target in targets:
+                adjacency[source].add(target)
+                adjacency[target].add(source)
+        return adjacency
+
+    def reverse(self) -> "DiGraph":
+        """Return a new graph with every edge direction flipped."""
+        rev = DiGraph()
+        rev._succ = {node: set(sources) for node, sources in self._pred.items()}
+        rev._pred = {node: set(targets) for node, targets in self._succ.items()}
+        rev._num_edges = self._num_edges
+        return rev
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DiGraph(nodes={self.number_of_nodes()}, "
+            f"edges={self.number_of_edges()})"
+        )

@@ -1,0 +1,49 @@
+"""Exception types raised by the graph substrate.
+
+All graph-layer errors derive from :class:`GraphError` so callers can catch a
+single base class when they do not care about the specific failure mode.
+"""
+
+from __future__ import annotations
+
+
+class GraphError(Exception):
+    """Base class for every error raised by :mod:`repro.graph`."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A node referenced by an operation does not exist in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """An edge referenced by an operation does not exist in the graph."""
+
+    def __init__(self, source: object, target: object) -> None:
+        super().__init__(f"edge ({source!r}, {target!r}) is not in the graph")
+        self.source = source
+        self.target = target
+
+
+class DuplicateNodeError(GraphError, ValueError):
+    """A node was added twice where duplicates are not permitted."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} already exists")
+        self.node = node
+
+
+class InvalidNodeKindError(GraphError, TypeError):
+    """A social-node operation received an attribute node, or vice versa."""
+
+    def __init__(self, node: object, expected: str) -> None:
+        super().__init__(f"node {node!r} is not a {expected} node")
+        self.node = node
+        self.expected = expected
+
+
+class SerializationError(GraphError, ValueError):
+    """A SAN file could not be parsed or written."""

@@ -1,0 +1,135 @@
+"""Persistence of SANs to simple text formats.
+
+Two formats are supported:
+
+* **TSV pair**: a social edge file with one ``source<TAB>target`` line per
+  directed link plus an attribute file with ``social<TAB>attr_type<TAB>value``
+  lines.  This mirrors the format of publicly released Google+ crawls.
+* **JSON**: one self-contained document, convenient for small fixtures.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from .builders import attribute_node_id
+from .errors import SerializationError
+from .san import SAN
+
+PathLike = Union[str, Path]
+
+
+def save_san_tsv(san: SAN, social_path: PathLike, attribute_path: PathLike) -> None:
+    """Write ``san`` to a pair of TSV files (social edges + attribute records)."""
+    social_path = Path(social_path)
+    attribute_path = Path(attribute_path)
+    with social_path.open("w", encoding="utf-8") as handle:
+        for source, target in sorted(san.social_edges(), key=_edge_sort_key):
+            handle.write(f"{source}\t{target}\n")
+    with attribute_path.open("w", encoding="utf-8") as handle:
+        for social, attribute in sorted(san.attribute_edges(), key=_edge_sort_key):
+            info = san.attribute_info(attribute)
+            handle.write(f"{social}\t{info.attr_type}\t{info.value}\n")
+
+
+def load_san_tsv(social_path: PathLike, attribute_path: PathLike) -> SAN:
+    """Load a SAN from the TSV pair written by :func:`save_san_tsv`.
+
+    Social node ids are parsed back to integers when possible so a round trip
+    through disk preserves the library's integer-id convention.
+    """
+    san = SAN()
+    social_path = Path(social_path)
+    attribute_path = Path(attribute_path)
+    with social_path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            parts = line.split("\t")
+            if len(parts) != 2:
+                raise SerializationError(
+                    f"{social_path}:{line_number}: expected 2 fields, got {len(parts)}"
+                )
+            san.add_social_edge(_parse_node(parts[0]), _parse_node(parts[1]))
+    with attribute_path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            parts = line.split("\t")
+            if len(parts) != 3:
+                raise SerializationError(
+                    f"{attribute_path}:{line_number}: expected 3 fields, got {len(parts)}"
+                )
+            social, attr_type, value = parts
+            san.add_attribute_edge(
+                _parse_node(social),
+                attribute_node_id(attr_type, value),
+                attr_type=attr_type,
+                value=value,
+            )
+    return san
+
+
+def save_san_json(san: SAN, path: PathLike) -> None:
+    """Write ``san`` to a single JSON document."""
+    document = {
+        "social_nodes": [_node_to_json(node) for node in san.social_nodes()],
+        "social_edges": [
+            [_node_to_json(source), _node_to_json(target)]
+            for source, target in san.social_edges()
+        ],
+        "attribute_edges": [
+            {
+                "social": _node_to_json(social),
+                "attribute": attribute,
+                "type": san.attribute_info(attribute).attr_type,
+                "value": san.attribute_info(attribute).value,
+            }
+            for social, attribute in san.attribute_edges()
+        ],
+    }
+    Path(path).write_text(json.dumps(document, indent=2), encoding="utf-8")
+
+
+def load_san_json(path: PathLike) -> SAN:
+    """Load a SAN from the JSON document written by :func:`save_san_json`."""
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid SAN JSON in {path}: {exc}") from exc
+    san = SAN()
+    for node in document.get("social_nodes", []):
+        san.add_social_node(node)
+    for source, target in document.get("social_edges", []):
+        san.add_social_edge(source, target)
+    for record in document.get("attribute_edges", []):
+        san.add_attribute_edge(
+            record["social"],
+            record["attribute"],
+            attr_type=record.get("type", "generic"),
+            value=record.get("value"),
+        )
+    return san
+
+
+def _parse_node(token: str):
+    """Interpret a TSV token as an int when possible, otherwise a string."""
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def _node_to_json(node):
+    """JSON only supports a subset of hashables; stringify anything exotic."""
+    if isinstance(node, (int, float, str, bool)) or node is None:
+        return node
+    return str(node)
+
+
+def _edge_sort_key(edge):
+    return tuple(str(part) for part in edge)

@@ -1,0 +1,102 @@
+"""Attribute-structure metrics (Section 4.1) and per-type breakdowns.
+
+These extend the social metrics to attribute nodes: attribute density,
+attribute clustering coefficient, attribute degree distributions, plus helpers
+used by the Figure 9 and Figure 13b analyses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from ..algorithms.approx_clustering import approximate_average_clustering
+from ..algorithms.clustering import (
+    average_attribute_clustering_coefficient,
+    average_clustering_for_attribute_type,
+    clustering_by_degree,
+    node_clustering_coefficient,
+)
+from ..graph.san import SAN
+from ..utils.rng import RngLike
+
+Node = Hashable
+
+
+def attribute_clustering_by_type(san: SAN) -> Dict[str, float]:
+    """Average attribute clustering coefficient per attribute type (Figure 13b)."""
+    return {
+        attr_type: average_clustering_for_attribute_type(san, attr_type)
+        for attr_type in sorted(san.attributes.attribute_types())
+    }
+
+
+def attribute_clustering_distribution(san: SAN) -> List[Tuple[int, float]]:
+    """Average attribute clustering coefficient vs attribute-node social degree."""
+    return clustering_by_degree(san, kind="attribute")
+
+
+def social_clustering_distribution(san: SAN) -> List[Tuple[int, float]]:
+    """Average social clustering coefficient vs social-node degree (Figure 9a)."""
+    return clustering_by_degree(san, kind="social")
+
+
+def approximate_attribute_clustering_coefficient(
+    san: SAN,
+    epsilon: float = 0.002,
+    nu: float = 100.0,
+    num_samples: Optional[int] = None,
+    rng: RngLike = None,
+) -> float:
+    """Sampled average attribute clustering coefficient (Algorithm 2, Omega = V_a)."""
+    return approximate_average_clustering(
+        san,
+        population=list(san.attribute_nodes()),
+        epsilon=epsilon,
+        nu=nu,
+        num_samples=num_samples,
+        rng=rng,
+    )
+
+
+def exact_attribute_clustering_coefficient(san: SAN) -> float:
+    """Exact average attribute clustering coefficient (small SANs / tests)."""
+    return average_attribute_clustering_coefficient(san)
+
+
+def top_attribute_nodes(
+    san: SAN, attr_type: Optional[str] = None, count: int = 10
+) -> List[Tuple[Node, int]]:
+    """Attribute nodes with the most members, optionally restricted to one type."""
+    if attr_type is None:
+        candidates = list(san.attribute_nodes())
+    else:
+        candidates = list(san.attributes.attribute_nodes_of_type(attr_type))
+    ranked = sorted(
+        ((node, san.attribute_social_degree(node)) for node in candidates),
+        key=lambda pair: pair[1],
+        reverse=True,
+    )
+    return ranked[:count]
+
+
+def attribute_type_counts(san: SAN) -> Dict[str, int]:
+    """Number of distinct attribute nodes per attribute type."""
+    counts: Dict[str, int] = {}
+    for node in san.attribute_nodes():
+        attr_type = san.attribute_type(node)
+        counts[attr_type] = counts.get(attr_type, 0) + 1
+    return counts
+
+
+def attribute_link_counts_by_type(san: SAN) -> Dict[str, int]:
+    """Number of attribute links per attribute type."""
+    counts: Dict[str, int] = {}
+    for _, attribute in san.attribute_edges():
+        attr_type = san.attribute_type(attribute)
+        counts[attr_type] = counts.get(attr_type, 0) + 1
+    return counts
+
+
+def attribute_node_clustering(san: SAN, attribute: Node) -> float:
+    """Clustering coefficient of a single attribute node."""
+    return node_clustering_coefficient(san, attribute)

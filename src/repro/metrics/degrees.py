@@ -1,0 +1,89 @@
+"""Degree sequences and distributions for social and attribute nodes.
+
+Four degree notions appear in the paper:
+
+* social out-degree and in-degree of social nodes (Figure 5, lognormal),
+* attribute degree of social nodes — how many attributes a user declares
+  (Figure 10a, lognormal),
+* social degree of attribute nodes — how many users hold an attribute
+  (Figure 10b, power-law).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+from ..graph.san import SAN
+from ..utils.stats import empirical_pmf, log_binned_histogram
+
+Node = Hashable
+
+
+def social_out_degrees(san: SAN) -> List[int]:
+    """Out-degree of every social node."""
+    return [san.social_out_degree(node) for node in san.social_nodes()]
+
+
+def social_in_degrees(san: SAN) -> List[int]:
+    """In-degree of every social node."""
+    return [san.social_in_degree(node) for node in san.social_nodes()]
+
+
+def social_total_degrees(san: SAN) -> List[int]:
+    """Number of distinct social neighbors of every social node."""
+    return [len(san.social.neighbors(node)) for node in san.social_nodes()]
+
+
+def attribute_degrees_of_social_nodes(san: SAN) -> List[int]:
+    """Attribute degree (number of declared attributes) of every social node."""
+    return [san.attribute_degree(node) for node in san.social_nodes()]
+
+
+def social_degrees_of_attribute_nodes(san: SAN) -> List[int]:
+    """Social degree (number of members) of every attribute node."""
+    return [san.attribute_social_degree(node) for node in san.attribute_nodes()]
+
+
+def degree_distribution(degrees: List[int]) -> Dict[int, float]:
+    """Empirical probability mass function of a degree sequence."""
+    return empirical_pmf(degrees)
+
+
+def log_binned_degree_distribution(
+    degrees: List[int], bins_per_decade: int = 10
+) -> List[Tuple[float, float]]:
+    """Log-binned density of a degree sequence, for log-log plotting."""
+    return log_binned_histogram(degrees, bins_per_decade=bins_per_decade)
+
+
+def degree_summary(san: SAN) -> Dict[str, float]:
+    """Mean degrees of the four degree notions, for quick reports."""
+    out_degrees = social_out_degrees(san)
+    in_degrees = social_in_degrees(san)
+    attr_degrees = attribute_degrees_of_social_nodes(san)
+    attr_social_degrees = social_degrees_of_attribute_nodes(san)
+
+    def _mean(values: List[int]) -> float:
+        return sum(values) / len(values) if values else 0.0
+
+    return {
+        "mean_out_degree": _mean(out_degrees),
+        "mean_in_degree": _mean(in_degrees),
+        "max_out_degree": max(out_degrees) if out_degrees else 0,
+        "max_in_degree": max(in_degrees) if in_degrees else 0,
+        "mean_attribute_degree": _mean(attr_degrees),
+        "mean_attribute_social_degree": _mean(attr_social_degrees),
+    }
+
+
+def out_degrees_for_attribute_value(san: SAN, attribute_node: Node) -> List[int]:
+    """Social out-degrees of the users holding a specific attribute node.
+
+    Figure 14 plots percentiles of these per Employer / Major value.
+    """
+    if not san.is_attribute_node(attribute_node):
+        return []
+    return [
+        san.social_out_degree(member)
+        for member in san.attributes.members_of(attribute_node)
+    ]

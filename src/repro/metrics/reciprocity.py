@@ -1,0 +1,137 @@
+"""Reciprocity metrics (Sections 3.1 and 4.2 of the paper).
+
+*Global reciprocity* is the fraction of directed social links whose reverse
+link also exists.  The *fine-grained reciprocity* ``r_{s,a}`` of Section 4.2
+measures, for one-directional links observed at an earlier snapshot, the
+probability that the reverse link exists by a later snapshot, stratified by
+the number of common social neighbors ``s`` and common attribute neighbors
+``a`` of the endpoints at the earlier snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from ..graph.san import SAN
+
+Node = Hashable
+
+
+def global_reciprocity(san: SAN) -> float:
+    """Fraction of directed social links that are mutual."""
+    total = 0
+    mutual = 0
+    for source, target in san.social_edges():
+        total += 1
+        if san.social.has_edge(target, source):
+            mutual += 1
+    return mutual / total if total else 0.0
+
+
+def reciprocal_edge_count(san: SAN) -> Tuple[int, int]:
+    """Return ``(mutual_links, total_links)`` over the directed social layer."""
+    total = 0
+    mutual = 0
+    for source, target in san.social_edges():
+        total += 1
+        if san.social.has_edge(target, source):
+            mutual += 1
+    return mutual, total
+
+
+@dataclass
+class FineGrainedReciprocity:
+    """Reciprocation rates stratified by common social / attribute neighbors.
+
+    ``rates[(s, a_bucket)] = (reciprocated, total)`` where ``s`` is the number
+    of common social neighbors and ``a_bucket`` is the common-attribute bucket
+    (0, 1, or 2 meaning ">= 2").
+    """
+
+    counts: Dict[Tuple[int, int], Tuple[int, int]] = field(default_factory=dict)
+
+    def rate(self, common_social: int, attribute_bucket: int) -> Optional[float]:
+        entry = self.counts.get((common_social, attribute_bucket))
+        if entry is None or entry[1] == 0:
+            return None
+        return entry[0] / entry[1]
+
+    def series_for_attribute_bucket(
+        self, attribute_bucket: int
+    ) -> List[Tuple[int, float]]:
+        """``(common_social_neighbors, reciprocity)`` curve for one attribute bucket."""
+        points = []
+        for (social, bucket), (reciprocated, total) in sorted(self.counts.items()):
+            if bucket == attribute_bucket and total > 0:
+                points.append((social, reciprocated / total))
+        return points
+
+    def average_rate_for_attribute_bucket(self, attribute_bucket: int) -> Optional[float]:
+        reciprocated = 0
+        total = 0
+        for (_, bucket), (r, t) in self.counts.items():
+            if bucket == attribute_bucket:
+                reciprocated += r
+                total += t
+        if total == 0:
+            return None
+        return reciprocated / total
+
+
+def attribute_bucket(num_common_attributes: int) -> int:
+    """Bucket common-attribute counts the way Figure 13a does: 0, 1, >=2."""
+    if num_common_attributes <= 0:
+        return 0
+    if num_common_attributes == 1:
+        return 1
+    return 2
+
+
+def fine_grained_reciprocity(
+    earlier: SAN,
+    later: SAN,
+    max_common_social: int = 50,
+    max_links: Optional[int] = None,
+) -> FineGrainedReciprocity:
+    """Compute the Section 4.2 fine-grained reciprocity.
+
+    For every one-directional link ``u -> v`` present in ``earlier`` (i.e. the
+    reverse link is absent there), determine whether ``v -> u`` exists in
+    ``later``, and stratify by the endpoints' common social neighbors and
+    common attribute bucket *measured on the earlier snapshot*.
+    """
+    result = FineGrainedReciprocity()
+    processed = 0
+    for source, target in earlier.social_edges():
+        if earlier.social.has_edge(target, source):
+            continue  # already mutual at the earlier snapshot
+        common_social = len(earlier.common_social_neighbors(source, target))
+        if common_social > max_common_social:
+            common_social = max_common_social
+        bucket = attribute_bucket(len(earlier.common_attributes(source, target)))
+        reciprocated = int(
+            later.is_social_node(target)
+            and later.is_social_node(source)
+            and later.social.has_edge(target, source)
+        )
+        key = (common_social, bucket)
+        previous = result.counts.get(key, (0, 0))
+        result.counts[key] = (previous[0] + reciprocated, previous[1] + 1)
+        processed += 1
+        if max_links is not None and processed >= max_links:
+            break
+    return result
+
+
+def reciprocity_by_common_attributes(
+    earlier: SAN, later: SAN
+) -> Dict[int, float]:
+    """Reciprocation rate as a function of the common-attribute bucket only."""
+    fine = fine_grained_reciprocity(earlier, later)
+    rates: Dict[int, float] = {}
+    for bucket in (0, 1, 2):
+        rate = fine.average_rate_for_attribute_bucket(bucket)
+        if rate is not None:
+            rates[bucket] = rate
+    return rates

@@ -1,0 +1,70 @@
+"""Whole-SAN metric reports combining the social and attribute analyses."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..algorithms.approx_clustering import approximate_average_clustering
+from ..graph.san import SAN
+from ..utils.rng import RngLike, ensure_rng
+from .degrees import degree_summary
+from .density import attribute_declaration_fraction, attribute_density, social_density
+from .diameter import social_effective_diameter
+from .joint_degree import attribute_assortativity, social_assortativity
+from .reciprocity import global_reciprocity
+
+
+def san_metric_report(
+    san: SAN,
+    include_diameter: bool = True,
+    clustering_samples: int = 4000,
+    diameter_precision: int = 6,
+    rng: RngLike = None,
+) -> Dict[str, float]:
+    """One-call summary of the headline metrics of a SAN.
+
+    Intended for examples, EXPERIMENTS.md tables and quick sanity checks; the
+    per-figure benches use the dedicated metric functions directly.
+    """
+    generator = ensure_rng(rng)
+    report: Dict[str, float] = {}
+    report.update(san.summary())
+    report.update(degree_summary(san))
+    report["reciprocity"] = global_reciprocity(san)
+    report["social_density"] = social_density(san)
+    report["attribute_density"] = attribute_density(san)
+    report["attribute_declaration_fraction"] = attribute_declaration_fraction(san)
+    report["social_assortativity"] = social_assortativity(san)
+    report["attribute_assortativity"] = attribute_assortativity(san)
+    report["avg_social_clustering"] = approximate_average_clustering(
+        san,
+        population=list(san.social_nodes()),
+        num_samples=clustering_samples,
+        rng=generator,
+    )
+    report["avg_attribute_clustering"] = approximate_average_clustering(
+        san,
+        population=list(san.attribute_nodes()),
+        num_samples=clustering_samples,
+        rng=generator,
+    )
+    if include_diameter:
+        report["social_effective_diameter"] = social_effective_diameter(
+            san, method="hyperanf", precision=diameter_precision
+        )
+    return report
+
+
+def format_report(report: Dict[str, float], title: Optional[str] = None) -> str:
+    """Render a metric report as an aligned text block."""
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    width = max((len(key) for key in report), default=0)
+    for key, value in report.items():
+        if isinstance(value, float):
+            lines.append(f"{key.ljust(width)}  {value:.6g}")
+        else:
+            lines.append(f"{key.ljust(width)}  {value}")
+    return "\n".join(lines)

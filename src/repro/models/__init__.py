@@ -1,0 +1,103 @@
+"""Generative models: attachment, triangle closing, Algorithm 1, baselines, theory."""
+
+from .attachment import (
+    AttachmentModel,
+    LinearAttributePreferentialAttachment,
+    PowerAttributePreferentialAttachment,
+    PreferentialAttachment,
+    UniformAttachment,
+    make_attachment_model,
+    sample_lapa_target_fast,
+    shared_attribute_count,
+)
+from .estimation import EstimationResult, estimate_parameters, greedy_refine
+from .history import ArrivalEvent, ArrivalHistory, apply_event
+from .kim_leskovec import expected_degree, generate_mag_san
+from .lifetime import (
+    expected_lifetime,
+    sample_sleep_time,
+    sample_truncated_normal_lifetime,
+    truncated_normal_moments,
+)
+from .likelihood import (
+    AttachmentModelSpec,
+    LikelihoodResult,
+    evaluate_attachment_models,
+    figure15_sweep,
+)
+from .parameters import (
+    AttachmentParameters,
+    LifetimeParameters,
+    MAGModelParameters,
+    SANModelParameters,
+    ZhelModelParameters,
+)
+from .san_model import SANGenerativeModel, SANModelRun, generate_san
+from .theory import (
+    LognormalPrediction,
+    harmonic_outdegree_approximation,
+    invert_theorem_one,
+    invert_theorem_two,
+    predicted_attribute_degree_lognormal,
+    predicted_attribute_social_degree_exponent,
+    predicted_outdegree_lognormal,
+)
+from .triangle_closing import (
+    BaselineClosing,
+    ClosureModelComparison,
+    RandomRandomClosing,
+    RandomRandomSANClosing,
+    TriangleClosingModel,
+    evaluate_closure_models,
+)
+from .zhel import ZhelGenerativeModel, generate_zhel_san
+
+__all__ = [
+    "AttachmentModel",
+    "LinearAttributePreferentialAttachment",
+    "PowerAttributePreferentialAttachment",
+    "PreferentialAttachment",
+    "UniformAttachment",
+    "make_attachment_model",
+    "sample_lapa_target_fast",
+    "shared_attribute_count",
+    "EstimationResult",
+    "estimate_parameters",
+    "greedy_refine",
+    "ArrivalEvent",
+    "ArrivalHistory",
+    "apply_event",
+    "expected_degree",
+    "generate_mag_san",
+    "expected_lifetime",
+    "sample_sleep_time",
+    "sample_truncated_normal_lifetime",
+    "truncated_normal_moments",
+    "AttachmentModelSpec",
+    "LikelihoodResult",
+    "evaluate_attachment_models",
+    "figure15_sweep",
+    "AttachmentParameters",
+    "LifetimeParameters",
+    "MAGModelParameters",
+    "SANModelParameters",
+    "ZhelModelParameters",
+    "SANGenerativeModel",
+    "SANModelRun",
+    "generate_san",
+    "LognormalPrediction",
+    "harmonic_outdegree_approximation",
+    "invert_theorem_one",
+    "invert_theorem_two",
+    "predicted_attribute_degree_lognormal",
+    "predicted_attribute_social_degree_exponent",
+    "predicted_outdegree_lognormal",
+    "BaselineClosing",
+    "ClosureModelComparison",
+    "RandomRandomClosing",
+    "RandomRandomSANClosing",
+    "TriangleClosingModel",
+    "evaluate_closure_models",
+    "ZhelGenerativeModel",
+    "generate_zhel_san",
+]

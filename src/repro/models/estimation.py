@@ -1,0 +1,192 @@
+"""Parameter estimation: fit generative-model parameters to a reference SAN.
+
+The paper uses a "guided greedy search" to choose model parameters that make
+the generated SAN match a Google+ snapshot.  The estimator here follows the
+same spirit:
+
+1. **Closed-form initialisation** — invert the model's theory:
+   * lognormal fit of the reference out-degrees + Theorem 1 → lifetime
+     parameters;
+   * lognormal fit of the reference attribute degrees → (mu_a, sigma_a);
+   * power-law fit of the reference attribute social degrees + Theorem 2 →
+     the new-attribute probability ``p``;
+   * measured reciprocity → the reciprocation probability.
+2. **Greedy refinement** — optionally generate small pilot SANs and nudge one
+   parameter at a time to reduce a weighted distance over summary metrics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..fitting.mle import fit_lognormal, fit_power_law
+from ..graph.san import SAN
+from ..metrics.degrees import (
+    attribute_degrees_of_social_nodes,
+    social_degrees_of_attribute_nodes,
+    social_out_degrees,
+)
+from ..metrics.reciprocity import global_reciprocity
+from ..utils.rng import RngLike, ensure_rng
+from .parameters import AttachmentParameters, SANModelParameters
+from .san_model import generate_san
+from .theory import invert_theorem_one, invert_theorem_two
+
+
+@dataclass
+class EstimationResult:
+    """Estimated parameters plus the diagnostics collected along the way."""
+
+    parameters: SANModelParameters
+    diagnostics: Dict[str, float]
+
+
+def estimate_parameters(
+    reference: SAN,
+    mean_sleep: float = 2.0,
+    beta: float = 200.0,
+    steps: Optional[int] = None,
+) -> EstimationResult:
+    """Closed-form initial estimate of the generative-model parameters."""
+    out_degrees = [d for d in social_out_degrees(reference) if d >= 1]
+    attribute_degrees = [d for d in attribute_degrees_of_social_nodes(reference) if d >= 1]
+    attribute_social_degrees = [
+        d for d in social_degrees_of_attribute_nodes(reference) if d >= 1
+    ]
+    diagnostics: Dict[str, float] = {}
+
+    if len(out_degrees) >= 10:
+        out_fit = fit_lognormal(out_degrees)
+        target_mu = out_fit.distribution.mu
+        target_sigma = out_fit.distribution.sigma
+    else:
+        target_mu, target_sigma = 1.5, 1.0
+    diagnostics["outdegree_mu"] = target_mu
+    diagnostics["outdegree_sigma"] = target_sigma
+    lifetime = invert_theorem_one(target_mu, target_sigma, mean_sleep=mean_sleep)
+
+    if len(attribute_degrees) >= 10:
+        attr_fit = fit_lognormal(attribute_degrees)
+        attribute_mu = attr_fit.distribution.mu
+        attribute_sigma = max(attr_fit.distribution.sigma, 0.1)
+    else:
+        attribute_mu, attribute_sigma = 1.0, 0.8
+    diagnostics["attribute_mu"] = attribute_mu
+    diagnostics["attribute_sigma"] = attribute_sigma
+
+    # Each attribute node is created by exactly one attribute link, so the
+    # fraction of links that spawned a new node is a direct moment estimator of
+    # ``p`` (more robust at small scale than inverting the fitted exponent,
+    # which is extremely sensitive near alpha = 2).
+    num_attribute_links = reference.number_of_attribute_edges()
+    if num_attribute_links > 0:
+        new_attribute_probability = (
+            reference.number_of_attribute_nodes() / num_attribute_links
+        )
+    else:
+        new_attribute_probability = 0.25
+    if len(attribute_social_degrees) >= 10:
+        exponent = fit_power_law(attribute_social_degrees).distribution.alpha
+    else:
+        exponent = 2.33
+    new_attribute_probability = min(max(new_attribute_probability, 0.02), 0.9)
+    diagnostics["attribute_social_degree_exponent"] = exponent
+
+    reciprocity = global_reciprocity(reference)
+    diagnostics["reciprocity"] = reciprocity
+
+    if steps is None:
+        steps = max(200, reference.number_of_social_nodes())
+
+    parameters = SANModelParameters(
+        steps=steps,
+        attribute_mu=attribute_mu,
+        attribute_sigma=attribute_sigma,
+        new_attribute_probability=new_attribute_probability,
+        attachment=AttachmentParameters(alpha=1.0, beta=beta),
+        lifetime=lifetime,
+        reciprocation_probability=min(max(reciprocity, 0.0), 1.0),
+    )
+    return EstimationResult(parameters=parameters, diagnostics=diagnostics)
+
+
+def _default_distance(reference_summary: Dict[str, float], candidate_summary: Dict[str, float]) -> float:
+    """Relative-error distance over a few robust summary metrics."""
+    keys = (
+        "mean_out_degree",
+        "mean_attribute_degree",
+        "reciprocity",
+        "social_density",
+        "attribute_density",
+    )
+    distance = 0.0
+    for key in keys:
+        reference_value = reference_summary.get(key, 0.0)
+        candidate_value = candidate_summary.get(key, 0.0)
+        scale = max(abs(reference_value), 1e-9)
+        distance += abs(candidate_value - reference_value) / scale
+    return distance
+
+
+def _summarise(san: SAN) -> Dict[str, float]:
+    from ..metrics.degrees import degree_summary
+    from ..metrics.density import attribute_density, social_density
+
+    summary = degree_summary(san)
+    summary["reciprocity"] = global_reciprocity(san)
+    summary["social_density"] = social_density(san)
+    summary["attribute_density"] = attribute_density(san)
+    return summary
+
+
+def greedy_refine(
+    reference: SAN,
+    initial: SANModelParameters,
+    pilot_steps: int = 800,
+    iterations: int = 4,
+    rng: RngLike = None,
+    distance: Callable[[Dict[str, float], Dict[str, float]], float] = _default_distance,
+) -> EstimationResult:
+    """Guided greedy search: perturb one parameter at a time, keep improvements.
+
+    Pilot runs use ``pilot_steps`` nodes to keep the search fast; the returned
+    parameters retain the caller's original ``steps``.
+    """
+    generator = ensure_rng(rng)
+    reference_summary = _summarise(reference)
+
+    def evaluate(params: SANModelParameters) -> float:
+        pilot = replace(params, steps=pilot_steps)
+        run = generate_san(pilot, rng=generator.getrandbits(32), record_history=False)
+        return distance(reference_summary, _summarise(run.san))
+
+    current = initial
+    current_score = evaluate(current)
+    history: Dict[str, float] = {"initial_score": current_score}
+
+    perturbations: List[Tuple[str, Callable[[SANModelParameters, float], SANModelParameters]]] = [
+        ("mean_sleep", lambda p, f: replace(
+            p, lifetime=replace(p.lifetime, mean_sleep=max(0.2, p.lifetime.mean_sleep * f)))),
+        ("attribute_mu", lambda p, f: replace(p, attribute_mu=p.attribute_mu * f)),
+        ("new_attribute_probability", lambda p, f: replace(
+            p, new_attribute_probability=min(0.95, max(0.02, p.new_attribute_probability * f)))),
+        ("reciprocation_probability", lambda p, f: replace(
+            p, reciprocation_probability=min(1.0, max(0.0, p.reciprocation_probability * f)))),
+    ]
+
+    for _ in range(iterations):
+        improved = False
+        for name, perturb in perturbations:
+            for factor in (0.8, 1.25):
+                candidate = perturb(current, factor)
+                score = evaluate(candidate)
+                if score < current_score:
+                    current, current_score = candidate, score
+                    history[f"accepted_{name}_{factor}"] = score
+                    improved = True
+        if not improved:
+            break
+    history["final_score"] = current_score
+    return EstimationResult(parameters=current, diagnostics=history)

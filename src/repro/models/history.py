@@ -1,0 +1,156 @@
+"""Arrival histories: ordered event logs describing how a SAN grew.
+
+The Figure 15 / Section 5.2 evaluations score link-formation models against
+*observed* link arrivals: for every new social link we need the state of the
+SAN just before the link appeared.  An :class:`ArrivalHistory` captures that
+as an initial SAN plus an ordered list of events (node joins, attribute link
+additions, social link additions) and supports replay.
+
+Histories come from two sources:
+
+* the synthetic Google+ simulator and the generative models record them
+  natively while generating;
+* :meth:`ArrivalHistory.from_snapshots` reconstructs one by diffing two
+  snapshots (arrival order within the gap is unknown, so new nodes and their
+  attributes are applied before the new links — the same approximation one
+  has to make with real daily crawls).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterator, List, Optional, Tuple
+
+from ..graph.san import SAN
+
+Node = Hashable
+
+EVENT_NODE = "node"
+EVENT_ATTRIBUTE = "attribute"
+EVENT_SOCIAL = "social"
+
+
+@dataclass(frozen=True)
+class ArrivalEvent:
+    """A single growth event.
+
+    ``kind`` is one of ``"node"`` (a new social node ``first`` joins),
+    ``"attribute"`` (social node ``first`` links to attribute node ``second``
+    of type ``attr_type``), or ``"social"`` (directed social link ``first ->
+    second``).
+    """
+
+    kind: str
+    first: Node
+    second: Optional[Node] = None
+    attr_type: str = "generic"
+    value: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in (EVENT_NODE, EVENT_ATTRIBUTE, EVENT_SOCIAL):
+            raise ValueError(f"unknown event kind {self.kind!r}")
+        if self.kind != EVENT_NODE and self.second is None:
+            raise ValueError(f"{self.kind} events need a second endpoint")
+
+
+@dataclass
+class ArrivalHistory:
+    """An initial SAN plus the ordered growth events applied on top of it."""
+
+    initial: SAN = field(default_factory=SAN)
+    events: List[ArrivalEvent] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Recording helpers (used by generators)
+    # ------------------------------------------------------------------
+    def record_node(self, node: Node) -> None:
+        self.events.append(ArrivalEvent(EVENT_NODE, node))
+
+    def record_attribute_link(
+        self, social: Node, attribute: Node, attr_type: str = "generic", value: str | None = None
+    ) -> None:
+        self.events.append(
+            ArrivalEvent(EVENT_ATTRIBUTE, social, attribute, attr_type=attr_type, value=value)
+        )
+
+    def record_social_link(self, source: Node, target: Node) -> None:
+        self.events.append(ArrivalEvent(EVENT_SOCIAL, source, target))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def social_link_events(self) -> List[ArrivalEvent]:
+        return [event for event in self.events if event.kind == EVENT_SOCIAL]
+
+    def num_social_links(self) -> int:
+        return sum(1 for event in self.events if event.kind == EVENT_SOCIAL)
+
+    def num_node_joins(self) -> int:
+        return sum(1 for event in self.events if event.kind == EVENT_NODE)
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def replay(self) -> Iterator[Tuple[SAN, ArrivalEvent]]:
+        """Yield ``(san_state_before_event, event)`` pairs in arrival order.
+
+        The yielded SAN object is the live replay state (not a copy); callers
+        must not mutate it and must finish reading it before advancing.
+        """
+        state = self.initial.copy()
+        for event in self.events:
+            yield state, event
+            apply_event(state, event)
+
+    def final_san(self) -> SAN:
+        """The SAN obtained by applying every event to the initial state."""
+        state = self.initial.copy()
+        for event in self.events:
+            apply_event(state, event)
+        return state
+
+    # ------------------------------------------------------------------
+    # Construction from snapshots
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_snapshots(cls, earlier: SAN, later: SAN) -> "ArrivalHistory":
+        """Approximate history between two snapshots of the same network.
+
+        New social nodes (with their attribute links) are emitted first, then
+        new attribute links of pre-existing nodes, then new social links.
+        """
+        history = cls(initial=earlier.copy())
+        new_nodes = [
+            node for node in later.social_nodes() if not earlier.is_social_node(node)
+        ]
+        for node in new_nodes:
+            history.record_node(node)
+            for attribute in later.attribute_neighbors(node):
+                info = later.attribute_info(attribute)
+                history.record_attribute_link(
+                    node, attribute, attr_type=info.attr_type, value=info.value
+                )
+        for social, attribute in later.attribute_edges():
+            if earlier.is_social_node(social) and not earlier.has_attribute_edge(
+                social, attribute
+            ):
+                info = later.attribute_info(attribute)
+                history.record_attribute_link(
+                    social, attribute, attr_type=info.attr_type, value=info.value
+                )
+        for source, target in later.social_edges():
+            if not earlier.has_social_edge(source, target):
+                history.record_social_link(source, target)
+        return history
+
+
+def apply_event(san: SAN, event: ArrivalEvent) -> None:
+    """Apply one growth event to ``san`` in place."""
+    if event.kind == EVENT_NODE:
+        san.add_social_node(event.first)
+    elif event.kind == EVENT_ATTRIBUTE:
+        san.add_attribute_edge(
+            event.first, event.second, attr_type=event.attr_type, value=event.value
+        )
+    else:
+        san.add_social_edge(event.first, event.second)

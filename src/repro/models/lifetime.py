@@ -1,0 +1,69 @@
+"""Lifetime and sleep-time sampling for the generative model (Section 5.3).
+
+* Node lifetimes follow a normal distribution truncated at zero — the key
+  ingredient that makes the social out-degree lognormal (Theorem 1).
+* Sleep times have mean ``mean_sleep / out_degree``: higher-out-degree nodes
+  wake up more often.  Only the mean matters for the theory; an exponential
+  distribution is used here.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from ..utils.rng import RngLike, ensure_rng
+from .parameters import LifetimeParameters
+
+
+def sample_truncated_normal_lifetime(
+    params: LifetimeParameters, rng: RngLike = None, max_rejections: int = 1000
+) -> float:
+    """Draw a lifetime from ``Normal(mu, sigma)`` truncated to ``[0, inf)``.
+
+    Rejection sampling is exact and fast for the parameter ranges used by the
+    model (the acceptance probability is ``1 - Phi(-mu/sigma)``); a fallback of
+    ``max(0, draw)`` guards against pathological parameters.
+    """
+    generator = ensure_rng(rng)
+    for _ in range(max_rejections):
+        draw = generator.gauss(params.mu, params.sigma)
+        if draw >= 0:
+            return draw
+    return max(0.0, generator.gauss(params.mu, params.sigma))
+
+
+def sample_sleep_time(
+    params: LifetimeParameters, out_degree: int, rng: RngLike = None
+) -> float:
+    """Exponential sleep time with mean ``mean_sleep / max(out_degree, 1)``."""
+    generator = ensure_rng(rng)
+    mean = params.mean_sleep / max(out_degree, 1)
+    return generator.expovariate(1.0 / mean) if mean > 0 else 0.0
+
+
+def truncated_normal_moments(mu: float, sigma: float) -> Tuple[float, float]:
+    """Mean and variance of ``Normal(mu, sigma)`` truncated to ``[0, inf)``.
+
+    Matches the quantities used in Theorem 1: with ``gamma = -mu / sigma``,
+    ``g(gamma) = phi(gamma) / (1 - Phi(gamma))`` and ``delta = g (g - gamma)``,
+    the truncated mean is ``mu + sigma g`` and the variance
+    ``sigma^2 (1 - delta)``.
+    """
+    if sigma <= 0:
+        raise ValueError("sigma must be positive")
+    gamma = -mu / sigma
+    phi = math.exp(-gamma * gamma / 2) / math.sqrt(2 * math.pi)
+    capital_phi = 0.5 * (1 + math.erf(gamma / math.sqrt(2)))
+    survival = 1 - capital_phi
+    if survival <= 1e-12:
+        return max(mu, 0.0), 0.0
+    g = phi / survival
+    delta = g * (g - gamma)
+    return mu + sigma * g, sigma * sigma * (1 - delta)
+
+
+def expected_lifetime(params: LifetimeParameters) -> float:
+    """Expected truncated-normal lifetime under ``params``."""
+    mean, _ = truncated_normal_moments(params.mu, params.sigma)
+    return mean

@@ -1,0 +1,216 @@
+"""The paper's generative model for Social-Attribute Networks (Algorithm 1).
+
+The stochastic process, per simulated time step ``t``:
+
+1. **Social node arrival** — ``N(t)`` new social nodes join (``N(t) = 1`` by
+   default, as in the paper).
+2. For each new node:
+   a. **Attribute degree sampling** — the number of attributes is drawn from a
+      lognormal distribution.
+   b. **Attribute linking** — each attribute link goes to a brand-new attribute
+      node with probability ``p``, otherwise to an existing attribute node
+      chosen with probability proportional to its social degree.
+   c. **First outgoing link** — chosen with the LAPA model (attribute-augmented
+      preferential attachment); the classical PA model when ``use_lapa`` is
+      off (the Figure 18a ablation).
+   d. **Lifetime sampling** — truncated normal.
+   e. **Sleep time sampling** — exponential with mean ``m_s / out_degree``.
+3. **Outgoing linking** — every node whose sleep expired this step (and whose
+   lifetime has not) issues one outgoing link via the RR-SAN triangle-closing
+   model (classical RR when ``use_focal_closure`` is off — Figure 18b), then
+   sleeps again.
+
+Incoming links arrive implicitly as other nodes' outgoing links; an optional
+reciprocation probability creates immediate back-links so the generated SAN's
+reciprocity matches the 0.38-0.46 range measured on Google+.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from ..graph.builders import complete_seed_san
+from ..graph.san import SAN
+from ..utils.rng import RngLike, ensure_rng
+from .attachment import sample_lapa_target_fast
+from .history import ArrivalHistory
+from .lifetime import sample_sleep_time, sample_truncated_normal_lifetime
+from .parameters import AttachmentParameters, SANModelParameters
+from .triangle_closing import RandomRandomClosing, RandomRandomSANClosing
+
+Node = Hashable
+
+
+@dataclass
+class SANModelRun:
+    """Output of one generative-model run."""
+
+    san: SAN
+    history: ArrivalHistory
+    snapshots: List[Tuple[int, SAN]] = field(default_factory=list)
+    parameters: Optional[SANModelParameters] = None
+
+
+class SANGenerativeModel:
+    """Generator implementing Algorithm 1 with the LAPA and RR-SAN building blocks."""
+
+    def __init__(self, params: Optional[SANModelParameters] = None, rng: RngLike = None) -> None:
+        self.params = params if params is not None else SANModelParameters()
+        self._rng = ensure_rng(rng)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def generate(
+        self, snapshot_every: Optional[int] = None, record_history: bool = True
+    ) -> SANModelRun:
+        """Run the stochastic process for ``params.steps`` time steps.
+
+        ``snapshot_every`` stores a copy of the SAN every that-many steps
+        (plus the final state), producing a snapshot sequence usable by the
+        evolution metrics.  ``record_history`` controls whether an
+        :class:`ArrivalHistory` (needed by the likelihood analyses) is kept.
+        """
+        params = self.params
+        rng = self._rng
+
+        san = complete_seed_san(params.seed_social_nodes, params.seed_attribute_nodes)
+        history = ArrivalHistory(initial=san.copy()) if record_history else ArrivalHistory()
+
+        # Incremental sampling pools.
+        node_pool: List[Node] = list(san.social_nodes())
+        in_degree_pool: List[Node] = [target for _, target in san.social_edges()]
+        attribute_pool: List[Node] = [attr for _, attr in san.attribute_edges()]
+        next_social_id = max(int(n) for n in node_pool) + 1
+        next_attribute_id = 0
+
+        death_time: Dict[Node, float] = {node: float("inf") for node in node_pool}
+        wake_heap: List[Tuple[float, int, Node]] = []
+        heap_counter = 0
+
+        closing_model = (
+            RandomRandomSANClosing(attribute_weight=params.focal_weight)
+            if params.use_focal_closure
+            else RandomRandomClosing()
+        )
+        attachment_params = params.attachment if params.use_lapa else AttachmentParameters(
+            alpha=params.attachment.alpha, beta=0.0, smoothing=params.attachment.smoothing
+        )
+
+        snapshots: List[Tuple[int, SAN]] = []
+
+        def add_social_edge(source: Node, target: Node) -> bool:
+            """Insert a social edge, updating pools and the history."""
+            if source == target or san.has_social_edge(source, target):
+                return False
+            san.add_social_edge(source, target)
+            in_degree_pool.append(target)
+            if record_history:
+                history.record_social_link(source, target)
+            return True
+
+        for step in range(1, params.steps + 1):
+            # -------------------- social node arrival --------------------
+            for _ in range(params.arrivals_per_step):
+                new_node = next_social_id
+                next_social_id += 1
+                san.add_social_node(new_node)
+                node_pool.append(new_node)
+                if record_history:
+                    history.record_node(new_node)
+
+                # ---------------- attribute degree & linking ----------------
+                num_attributes = self._sample_attribute_degree(rng)
+                for _ in range(num_attributes):
+                    if rng.random() < params.new_attribute_probability or not attribute_pool:
+                        attribute = f"attr:{next_attribute_id}"
+                        next_attribute_id += 1
+                    else:
+                        attribute = attribute_pool[rng.randrange(len(attribute_pool))]
+                        if san.has_attribute_edge(new_node, attribute):
+                            continue
+                    san.add_attribute_edge(new_node, attribute, attr_type="model")
+                    attribute_pool.append(attribute)
+                    if record_history:
+                        history.record_attribute_link(
+                            new_node, attribute, attr_type="model"
+                        )
+
+                # ---------------- first outgoing link (LAPA) ----------------
+                target = sample_lapa_target_fast(
+                    san,
+                    new_node,
+                    attachment_params,
+                    rng=rng,
+                    in_degree_pool=in_degree_pool,
+                    node_pool=node_pool,
+                )
+                if target is not None and add_social_edge(new_node, target):
+                    if rng.random() < params.reciprocation_probability:
+                        add_social_edge(target, new_node)
+
+                # ---------------- lifetime & first sleep ----------------
+                lifetime = sample_truncated_normal_lifetime(params.lifetime, rng=rng)
+                death_time[new_node] = step + lifetime
+                sleep = sample_sleep_time(
+                    params.lifetime, san.social_out_degree(new_node), rng=rng
+                )
+                heap_counter += 1
+                heapq.heappush(wake_heap, (step + sleep, heap_counter, new_node))
+
+            # -------------------- woken nodes add links --------------------
+            while wake_heap and wake_heap[0][0] <= step:
+                wake_time, _, node = heapq.heappop(wake_heap)
+                if wake_time > death_time.get(node, 0.0):
+                    continue  # the node's lifetime expired while sleeping
+                target = closing_model.sample_target(san, node, rng=rng)
+                if target is None:
+                    target = sample_lapa_target_fast(
+                        san,
+                        node,
+                        attachment_params,
+                        rng=rng,
+                        in_degree_pool=in_degree_pool,
+                        node_pool=node_pool,
+                    )
+                if target is not None and san.is_social_node(target):
+                    if add_social_edge(node, target) and rng.random() < params.reciprocation_probability:
+                        add_social_edge(target, node)
+                sleep = sample_sleep_time(
+                    params.lifetime, san.social_out_degree(node), rng=rng
+                )
+                heap_counter += 1
+                heapq.heappush(wake_heap, (wake_time + sleep, heap_counter, node))
+
+            if snapshot_every is not None and step % snapshot_every == 0:
+                snapshots.append((step, san.copy()))
+
+        if snapshot_every is not None and (not snapshots or snapshots[-1][0] != params.steps):
+            snapshots.append((params.steps, san.copy()))
+
+        return SANModelRun(
+            san=san, history=history, snapshots=snapshots, parameters=params
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _sample_attribute_degree(self, rng) -> int:
+        """Lognormal attribute degree, rounded to an integer (possibly zero)."""
+        draw = rng.lognormvariate(self.params.attribute_mu, self.params.attribute_sigma)
+        return max(0, int(round(draw)))
+
+
+def generate_san(
+    params: Optional[SANModelParameters] = None,
+    rng: RngLike = None,
+    snapshot_every: Optional[int] = None,
+    record_history: bool = True,
+) -> SANModelRun:
+    """Convenience wrapper: build the model and run it once."""
+    return SANGenerativeModel(params=params, rng=rng).generate(
+        snapshot_every=snapshot_every, record_history=record_history
+    )

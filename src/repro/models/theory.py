@@ -1,0 +1,104 @@
+"""Closed-form predictions of the generative model (Theorems 1 and 2).
+
+* **Theorem 1** — with lifetimes ``Normal(mu_l, sigma_l)`` truncated at zero
+  and sleep times of mean ``m_s / d_o``, the social out-degree is lognormal
+  with log-mean ``(mu_l + sigma_l g(gamma)) / m_s`` and log-variance
+  ``sigma_l^2 (1 - delta(gamma)) / m_s^2`` where ``gamma = -mu_l / sigma_l``,
+  ``g = phi / (1 - Phi)`` and ``delta = g (g - gamma)``.
+* **Theorem 2** — the social degree of attribute nodes follows a power law
+  with exponent ``(2 - p) / (1 - p)`` where ``p`` is the new-attribute
+  probability.
+
+These functions are used by the theory-validation bench and by the parameter
+estimation code (inverting Theorem 1 to pick lifetime parameters that match a
+target out-degree distribution).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from .lifetime import truncated_normal_moments
+from .parameters import LifetimeParameters, SANModelParameters
+
+
+@dataclass(frozen=True)
+class LognormalPrediction:
+    """Predicted lognormal parameters (log-mean and log-standard-deviation)."""
+
+    mu: float
+    sigma: float
+
+
+def predicted_outdegree_lognormal(params: SANModelParameters) -> LognormalPrediction:
+    """Theorem 1: lognormal parameters of the model's social out-degree."""
+    lifetime = params.lifetime
+    mean, variance = truncated_normal_moments(lifetime.mu, lifetime.sigma)
+    mu = mean / lifetime.mean_sleep
+    sigma = math.sqrt(max(variance, 0.0)) / lifetime.mean_sleep
+    return LognormalPrediction(mu=mu, sigma=sigma)
+
+
+def predicted_attribute_degree_lognormal(params: SANModelParameters) -> LognormalPrediction:
+    """By construction, the attribute degree of social nodes is lognormal."""
+    return LognormalPrediction(mu=params.attribute_mu, sigma=params.attribute_sigma)
+
+
+def predicted_attribute_social_degree_exponent(params: SANModelParameters) -> float:
+    """Theorem 2: power-law exponent ``(2 - p) / (1 - p)`` of attribute social degree."""
+    p = params.new_attribute_probability
+    if p >= 1.0:
+        raise ValueError("new_attribute_probability must be < 1 for a power-law tail")
+    return (2 - p) / (1 - p)
+
+
+def invert_theorem_one(
+    target_mu: float, target_sigma: float, mean_sleep: float = 2.0
+) -> LifetimeParameters:
+    """Choose lifetime parameters whose Theorem-1 prediction matches a target.
+
+    Given the lognormal (mu, sigma) fitted on a real out-degree distribution
+    and a chosen mean sleep time, search for ``(mu_l, sigma_l)`` such that the
+    truncated-normal mean and standard deviation divided by ``mean_sleep``
+    equal the targets.  The search is a simple two-dimensional fixed-point /
+    grid refinement (the mapping is smooth and monotone in both coordinates).
+    """
+    if target_sigma <= 0:
+        raise ValueError("target_sigma must be positive")
+    desired_mean = target_mu * mean_sleep
+    desired_std = target_sigma * mean_sleep
+
+    # Initial guess: ignore truncation.
+    mu_l, sigma_l = desired_mean, desired_std
+    for _ in range(200):
+        mean, variance = truncated_normal_moments(mu_l, max(sigma_l, 1e-6))
+        std = math.sqrt(max(variance, 1e-12))
+        mean_error = mean - desired_mean
+        std_error = std - desired_std
+        if abs(mean_error) < 1e-6 and abs(std_error) < 1e-6:
+            break
+        mu_l -= 0.5 * mean_error
+        sigma_l -= 0.5 * std_error
+        sigma_l = max(sigma_l, 1e-3)
+    return LifetimeParameters(mu=mu_l, sigma=sigma_l, mean_sleep=mean_sleep)
+
+
+def invert_theorem_two(target_exponent: float) -> float:
+    """Solve ``(2 - p) / (1 - p) = exponent`` for the new-attribute probability."""
+    if target_exponent <= 2.0:
+        raise ValueError("the Theorem 2 exponent is always > 2; got "
+                         f"{target_exponent}")
+    return (target_exponent - 2) / (target_exponent - 1)
+
+
+def harmonic_outdegree_approximation(lifetime: float, mean_sleep: float) -> float:
+    """The mean-field relation ``ln(D_o) ≈ lifetime / mean_sleep`` from the proof.
+
+    Returns the predicted out-degree for one node given its realised lifetime;
+    used by tests to validate the mean-field step of Theorem 1 directly.
+    """
+    if mean_sleep <= 0:
+        raise ValueError("mean_sleep must be positive")
+    return math.exp(lifetime / mean_sleep)

@@ -1,0 +1,53 @@
+"""Synthetic Google+ substrate: vocabularies, arrival schedules, the simulator."""
+
+from .arrival import ArrivalSchedule, constant_schedule, three_phase_schedule
+from .attributes import (
+    NAMED_VALUES,
+    TECH_VALUES,
+    AttributeVocabulary,
+    ProfileModel,
+    build_vocabulary,
+    default_vocabularies,
+)
+from .gplus import (
+    GooglePlusConfig,
+    GooglePlusSimulator,
+    GroundTruthEvolution,
+    TimedEvent,
+    simulate_google_plus,
+)
+from .workloads import (
+    BENCH_SEED,
+    EvolutionWorkload,
+    build_workload,
+    default_config,
+    large_config,
+    small_config,
+    standard_snapshot_days,
+    tiny_config,
+)
+
+__all__ = [
+    "ArrivalSchedule",
+    "constant_schedule",
+    "three_phase_schedule",
+    "NAMED_VALUES",
+    "TECH_VALUES",
+    "AttributeVocabulary",
+    "ProfileModel",
+    "build_vocabulary",
+    "default_vocabularies",
+    "GooglePlusConfig",
+    "GooglePlusSimulator",
+    "GroundTruthEvolution",
+    "TimedEvent",
+    "simulate_google_plus",
+    "BENCH_SEED",
+    "EvolutionWorkload",
+    "build_workload",
+    "default_config",
+    "large_config",
+    "small_config",
+    "standard_snapshot_days",
+    "tiny_config",
+]

@@ -1,0 +1,516 @@
+"""Synthetic Google+ ground-truth evolution.
+
+The paper's measurements run on 79 daily crawls of the real Google+ network.
+That dataset is not redistributable here, so this module provides the closest
+synthetic equivalent: a day-by-day simulator of a Google+-like social-attribute
+network with
+
+* the three-phase launch timeline (invitation bootstrap, stabilised
+  invitation-only growth, public release surge) driving node arrivals,
+* invitation links from new users to existing inviters,
+* per-user lognormal outgoing-link budgets spread over the days after joining
+  (yielding lognormal degree distributions),
+* link-target selection mixing triadic closure, focal (shared-attribute)
+  closure, and attribute-boosted preferential attachment,
+* reciprocation whose probability declines across phases and is boosted when
+  the endpoints share attributes (the Figure 13a signal),
+* profile declaration for ~22% of users across the four Google+ attribute
+  types, with inviter homophily and an early-adopter tech tilt (the Figure 14
+  signal).
+
+The simulator emits a :class:`GroundTruthEvolution` — a day-stamped event log
+from which a SAN "as of day d" (or a whole snapshot sequence) can be
+reconstructed, plus per-user profiles and join days.  The crawler substrate
+consumes this object to produce the crawled snapshots every measurement bench
+runs on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..graph.builders import attribute_node_id
+from ..graph.san import SAN
+from ..metrics.evolution import PhaseBoundaries
+from ..models.history import ArrivalEvent, ArrivalHistory, apply_event
+from ..utils.rng import RngLike, ensure_rng
+from ..utils.validation import require_probability
+from .arrival import ArrivalSchedule, three_phase_schedule
+from .attributes import ProfileModel, build_vocabulary, default_vocabularies
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class TimedEvent:
+    """A growth event stamped with the simulation day it happened on."""
+
+    day: int
+    event: ArrivalEvent
+
+
+@dataclass
+class GroundTruthEvolution:
+    """Day-stamped event log of a simulated Google+-like network."""
+
+    events: List[TimedEvent]
+    num_days: int
+    join_day: Dict[Node, int] = field(default_factory=dict)
+    profiles: Dict[Node, Dict[str, str]] = field(default_factory=dict)
+    phases: PhaseBoundaries = field(default_factory=PhaseBoundaries)
+
+    def san_at(self, day: int) -> SAN:
+        """The ground-truth SAN at the end of ``day``."""
+        san = SAN()
+        for timed in self.events:
+            if timed.day > day:
+                break
+            apply_event(san, timed.event)
+        return san
+
+    def final_san(self) -> SAN:
+        return self.san_at(self.num_days)
+
+    def snapshots(self, days: Sequence[int]) -> List[Tuple[int, SAN]]:
+        """Ground-truth SAN copies at each requested day (single replay pass)."""
+        wanted = sorted(set(days))
+        snapshots: List[Tuple[int, SAN]] = []
+        san = SAN()
+        index = 0
+        for day in range(1, self.num_days + 1):
+            while index < len(self.events) and self.events[index].day <= day:
+                apply_event(san, self.events[index].event)
+                index += 1
+            if day in wanted:
+                snapshots.append((day, san.copy()))
+        return snapshots
+
+    def arrival_history(
+        self, start_day: int = 1, end_day: Optional[int] = None
+    ) -> ArrivalHistory:
+        """Arrival history covering days ``(start_day, end_day]``.
+
+        The initial SAN is the state at the end of ``start_day - 1``; events on
+        later days (up to ``end_day``) become the history's ordered events.
+        Used by the Figure 15 and Section 5.2 likelihood analyses.
+        """
+        if end_day is None:
+            end_day = self.num_days
+        history = ArrivalHistory(initial=self.san_at(start_day - 1))
+        for timed in self.events:
+            if timed.day < start_day:
+                continue
+            if timed.day > end_day:
+                break
+            history.events.append(timed.event)
+        return history
+
+    def new_social_links_between(
+        self, after_day: int, up_to_day: int
+    ) -> List[Tuple[Node, Node]]:
+        """Directed social links created strictly after ``after_day`` and by ``up_to_day``."""
+        links: List[Tuple[Node, Node]] = []
+        for timed in self.events:
+            if timed.day <= after_day:
+                continue
+            if timed.day > up_to_day:
+                break
+            if timed.event.kind == "social":
+                links.append((timed.event.first, timed.event.second))
+        return links
+
+    def users_joining_by(self, day: int) -> List[Node]:
+        return [node for node, joined in self.join_day.items() if joined <= day]
+
+
+@dataclass
+class GooglePlusConfig:
+    """Configuration of the synthetic Google+ simulator.
+
+    The defaults target a few thousand users — large enough for every metric's
+    qualitative shape to be visible, small enough for the full benchmark suite
+    to run on a laptop.  ``total_users`` and ``num_days`` scale the workload.
+    """
+
+    total_users: int = 4000
+    num_days: int = 98
+    phases: PhaseBoundaries = field(default_factory=PhaseBoundaries)
+
+    # Outgoing-link budgets (lognormal) and their spread over time.
+    degree_mu: float = 1.6
+    degree_sigma: float = 1.0
+    tech_degree_boost: float = 1.8
+    link_spread_days: float = 25.0
+
+    # Link-target selection mix.
+    triadic_probability: float = 0.50
+    focal_probability: float = 0.15
+    #: Probability that a non-closure link from a user with declared attributes
+    #: targets a member of one of their attribute communities (the approximate
+    #: LAPA behaviour of Section 7) instead of plain preferential attachment.
+    attachment_lapa_share: float = 0.35
+    #: Relative propensity of each attribute type to drive focal link creation;
+    #: Employer outweighs City, which is what makes employers form stronger
+    #: communities (Figure 13b) and LAPA beat PA (Figure 15).
+    focal_type_weights: Dict[str, float] = field(
+        default_factory=lambda: {"employer": 3.5, "school": 2.0, "major": 1.0, "city": 0.3}
+    )
+
+    # Per-link reciprocation probabilities per phase (note: a per-link rate r
+    # yields a global link reciprocity of 2r / (1 + r), so ~0.3 per link gives
+    # the ~0.45 reciprocity Google+ shows early on), plus the shared-attribute
+    # boost applied to delayed reciprocation.
+    reciprocation_phase1: float = 0.28
+    reciprocation_phase2: float = 0.18
+    reciprocation_phase3: float = 0.10
+    shared_attribute_reciprocation_boost: float = 2.5
+    # Links that were not reciprocated immediately may still be reciprocated
+    # later (this is what the Figure 13a fine-grained reciprocity measures).
+    delayed_reciprocation_probability: float = 0.10
+    delayed_reciprocation_mean_days: float = 15.0
+
+    # Invitations & profiles.
+    invitation_probability_phase3: float = 0.55
+    declare_probability: float = 0.22
+    inviter_copy_probability: float = 0.30
+    #: Distinct values per attribute type.  Cities are few (huge, loosely knit
+    #: communities) while employers are many (small, tightly knit ones) — this
+    #: asymmetry is what reproduces the Figure 13b ordering.
+    vocabulary_sizes: Dict[str, int] = field(
+        default_factory=lambda: {"employer": 90, "school": 60, "major": 30, "city": 22}
+    )
+    tech_tilt_phase1: float = 0.45
+    tech_tilt_phase2: float = 0.15
+    tech_tilt_phase3: float = 0.05
+
+    def __post_init__(self) -> None:
+        require_probability(self.triadic_probability, "triadic_probability")
+        require_probability(self.focal_probability, "focal_probability")
+        if self.triadic_probability + self.focal_probability > 1.0:
+            raise ValueError("triadic_probability + focal_probability must be <= 1")
+        require_probability(self.declare_probability, "declare_probability")
+        for name in (
+            "reciprocation_phase1",
+            "reciprocation_phase2",
+            "reciprocation_phase3",
+            "invitation_probability_phase3",
+        ):
+            require_probability(getattr(self, name), name)
+
+
+class GooglePlusSimulator:
+    """Simulate the growth of a Google+-like SAN, day by day."""
+
+    def __init__(self, config: Optional[GooglePlusConfig] = None, rng: RngLike = None) -> None:
+        self.config = config if config is not None else GooglePlusConfig()
+        self._rng = ensure_rng(rng)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self) -> GroundTruthEvolution:
+        """Run the full simulation and return the timed event log."""
+        config = self.config
+        rng = self._rng
+        schedule = three_phase_schedule(
+            total_users=config.total_users,
+            num_days=config.num_days,
+            phases=config.phases,
+        )
+        vocabularies = {
+            attr_type: build_vocabulary(attr_type, num_values=size)
+            for attr_type, size in config.vocabulary_sizes.items()
+        }
+        profile_model = ProfileModel(
+            vocabularies=vocabularies,
+            declare_probability=config.declare_probability,
+            inviter_copy_probability=config.inviter_copy_probability,
+        )
+
+        evolution = GroundTruthEvolution(
+            events=[], num_days=config.num_days, phases=config.phases
+        )
+        san = SAN()  # live state mirroring the event log
+        next_user_id = 0
+        # Per-day buckets of scheduled outgoing-link events (source node ids)
+        # and of delayed reciprocation events (explicit directed pairs).
+        pending_links: List[List[Node]] = [[] for _ in range(config.num_days + 2)]
+        pending_reciprocations: List[List[Tuple[Node, Node]]] = [
+            [] for _ in range(config.num_days + 2)
+        ]
+        in_degree_pool: List[Node] = []  # one entry per incoming link (for PA)
+        all_users: List[Node] = []
+
+        def emit(day: int, event: ArrivalEvent) -> None:
+            evolution.events.append(TimedEvent(day=day, event=event))
+            apply_event(san, event)
+
+        def add_social_link(day: int, source: Node, target: Node) -> bool:
+            if source == target or san.has_social_edge(source, target):
+                return False
+            emit(day, ArrivalEvent("social", source, target))
+            in_degree_pool.append(target)
+            return True
+
+        def maybe_reciprocate(day: int, source: Node, target: Node, probability: float) -> None:
+            """Immediate reciprocation, or a delayed one scheduled for later."""
+            if rng.random() < min(0.95, probability):
+                add_social_link(day, target, source)
+                return
+            delayed = config.delayed_reciprocation_probability
+            if san.common_attributes(source, target):
+                delayed *= config.shared_attribute_reciprocation_boost
+            if rng.random() < min(0.9, delayed):
+                offset = int(rng.expovariate(1.0 / config.delayed_reciprocation_mean_days)) + 1
+                future = day + offset
+                if future <= config.num_days:
+                    pending_reciprocations[future].append((target, source))
+
+        for day in range(1, config.num_days + 1):
+            phase = config.phases.phase_of(day)
+            tech_tilt = self._tech_tilt(phase)
+            reciprocation = self._reciprocation(day, rng)
+
+            # ---------------------- new user arrivals ----------------------
+            for _ in range(schedule.arrivals_on(day)):
+                user = next_user_id
+                next_user_id += 1
+                evolution.join_day[user] = day
+                emit(day, ArrivalEvent("node", user))
+
+                inviter = self._pick_inviter(all_users, in_degree_pool, phase, rng)
+                inviter_profile = (
+                    evolution.profiles.get(inviter) if inviter is not None else None
+                )
+                profile = profile_model.sample_profile(
+                    rng=rng, inviter_profile=inviter_profile, tech_tilt=tech_tilt
+                )
+                evolution.profiles[user] = profile
+                for attr_type, value in profile.items():
+                    emit(
+                        day,
+                        ArrivalEvent(
+                            "attribute",
+                            user,
+                            attribute_node_id(attr_type, value),
+                            attr_type=attr_type,
+                            value=value,
+                        ),
+                    )
+
+                all_users.append(user)
+
+                if inviter is not None and add_social_link(day, user, inviter):
+                    maybe_reciprocate(day, user, inviter, reciprocation * 1.2)
+
+                # Schedule this user's future outgoing links.
+                budget = self._sample_link_budget(profile, rng)
+                for _ in range(budget):
+                    offset = int(rng.expovariate(1.0 / config.link_spread_days)) + 1
+                    target_day = day + offset
+                    if target_day <= config.num_days:
+                        pending_links[target_day].append(user)
+
+            # ---------------------- scheduled link creation ----------------------
+            for source in pending_links[day]:
+                if not san.is_social_node(source):
+                    continue
+                target = self._pick_link_target(san, source, in_degree_pool, all_users, rng)
+                if target is None:
+                    continue
+                if add_social_link(day, source, target):
+                    maybe_reciprocate(day, source, target, reciprocation)
+
+            # ---------------------- delayed reciprocations ----------------------
+            for source, target in pending_reciprocations[day]:
+                if san.is_social_node(source) and san.is_social_node(target):
+                    add_social_link(day, source, target)
+
+        return evolution
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _tech_tilt(self, phase: int) -> float:
+        config = self.config
+        if phase == 1:
+            return config.tech_tilt_phase1
+        if phase == 2:
+            return config.tech_tilt_phase2
+        return config.tech_tilt_phase3
+
+    def _reciprocation(self, day: int, rng) -> float:
+        """Phase-dependent reciprocation probability with small daily noise."""
+        config = self.config
+        phase = config.phases.phase_of(day)
+        if phase == 1:
+            base = config.reciprocation_phase1
+        elif phase == 2:
+            # Linear decline across phase II.
+            span = max(config.phases.phase_two_end - config.phases.phase_one_end, 1)
+            progress = (day - config.phases.phase_one_end) / span
+            base = config.reciprocation_phase1 + progress * (
+                config.reciprocation_phase2 - config.reciprocation_phase1
+            )
+        else:
+            base = config.reciprocation_phase3
+        return max(0.05, base + rng.uniform(-0.02, 0.02))
+
+    def _pick_inviter(
+        self, all_users: List[Node], in_degree_pool: List[Node], phase: int, rng
+    ) -> Optional[Node]:
+        """Choose an inviter ∝ (in-degree + 1); Phase III users may join uninvited."""
+        if not all_users:
+            return None
+        if phase == 3 and rng.random() > self.config.invitation_probability_phase3:
+            return None
+        total = len(in_degree_pool) + len(all_users)
+        if in_degree_pool and rng.random() * total < len(in_degree_pool):
+            return in_degree_pool[rng.randrange(len(in_degree_pool))]
+        return all_users[rng.randrange(len(all_users))]
+
+    def _sample_link_budget(self, profile: Dict[str, str], rng) -> int:
+        """Lognormal outgoing-link budget, boosted for tech-profile users."""
+        config = self.config
+        draw = rng.lognormvariate(config.degree_mu, config.degree_sigma)
+        if profile.get("employer") in ("Google", "Microsoft", "Intel", "Facebook") or (
+            profile.get("major") == "Computer Science"
+        ):
+            draw *= config.tech_degree_boost
+        return max(0, int(round(draw)))
+
+    def _pick_link_target(
+        self,
+        san: SAN,
+        source: Node,
+        in_degree_pool: List[Node],
+        all_users: List[Node],
+        rng,
+    ) -> Optional[Node]:
+        """Target selection: triadic closure / focal closure / attribute-boosted PA."""
+        config = self.config
+        roll = rng.random()
+        if roll < config.triadic_probability:
+            target = self._triadic_target(san, source, rng)
+            if target is not None:
+                return target
+        elif roll < config.triadic_probability + config.focal_probability:
+            target = self._focal_target(san, source, rng)
+            if target is not None:
+                return target
+        return self._attachment_target(san, source, in_degree_pool, all_users, rng)
+
+    def _triadic_target(self, san: SAN, source: Node, rng) -> Optional[Node]:
+        neighbors = list(san.social_neighbors(source))
+        if not neighbors:
+            return None
+        for _ in range(5):
+            intermediate = neighbors[rng.randrange(len(neighbors))]
+            second = [
+                node
+                for node in san.social_neighbors(intermediate)
+                if node != source and not san.has_social_edge(source, node)
+            ]
+            if second:
+                return second[rng.randrange(len(second))]
+        return None
+
+    def _weighted_attribute_of(self, san: SAN, source: Node, rng) -> Optional[Node]:
+        """Pick one of the source's attributes weighted by its type's focal weight."""
+        attributes = list(san.attribute_neighbors(source))
+        if not attributes:
+            return None
+        weights = [
+            self.config.focal_type_weights.get(san.attribute_type(attribute), 1.0)
+            for attribute in attributes
+        ]
+        total = sum(weights)
+        if total <= 0:
+            return attributes[rng.randrange(len(attributes))]
+        threshold = rng.random() * total
+        cumulative = 0.0
+        for attribute, weight in zip(attributes, weights):
+            cumulative += weight
+            if cumulative >= threshold:
+                return attribute
+        return attributes[-1]
+
+    def _member_of_attribute(self, san: SAN, attribute: Node, source: Node, rng) -> Optional[Node]:
+        """Pick a community member with probability ∝ (in-degree + 1).
+
+        Weighting by degree keeps the within-community choice consistent with
+        LAPA's ``d_i(v) * (1 + beta a(u, v))`` form, which is what makes
+        ``alpha = 1`` the best-fitting exponent in the Figure 15 sweep.
+        """
+        members = [
+            node
+            for node in san.attributes.members_of(attribute)
+            if node != source and not san.has_social_edge(source, node)
+        ]
+        if not members:
+            return None
+        weights = [san.social_in_degree(node) + 1.0 for node in members]
+        total = sum(weights)
+        threshold = rng.random() * total
+        cumulative = 0.0
+        for node, weight in zip(members, weights):
+            cumulative += weight
+            if cumulative >= threshold:
+                return node
+        return members[-1]
+
+    def _focal_target(self, san: SAN, source: Node, rng) -> Optional[Node]:
+        for _ in range(5):
+            attribute = self._weighted_attribute_of(san, source, rng)
+            if attribute is None:
+                return None
+            target = self._member_of_attribute(san, attribute, source, rng)
+            if target is not None:
+                return target
+        return None
+
+    def _attachment_target(
+        self,
+        san: SAN,
+        source: Node,
+        in_degree_pool: List[Node],
+        all_users: List[Node],
+        rng,
+    ) -> Optional[Node]:
+        """Attribute-aware attachment: approximate LAPA mixed with plain PA.
+
+        With probability ``attachment_lapa_share`` (and if the source declares
+        attributes) the target is drawn from one of the source's attribute
+        communities — the practical LAPA heuristic of Section 7; otherwise the
+        target follows preferential attachment on in-degree (+1 smoothing).
+        """
+        config = self.config
+        if not all_users:
+            return None
+        if (
+            san.attribute_degree(source) > 0
+            and rng.random() < config.attachment_lapa_share
+        ):
+            attribute = self._weighted_attribute_of(san, source, rng)
+            if attribute is not None:
+                target = self._member_of_attribute(san, attribute, source, rng)
+                if target is not None:
+                    return target
+        for _ in range(15):
+            total = len(in_degree_pool) + len(all_users)
+            if in_degree_pool and rng.random() * total < len(in_degree_pool):
+                candidate = in_degree_pool[rng.randrange(len(in_degree_pool))]
+            else:
+                candidate = all_users[rng.randrange(len(all_users))]
+            if candidate != source and not san.has_social_edge(source, candidate):
+                return candidate
+        return None
+
+
+def simulate_google_plus(
+    config: Optional[GooglePlusConfig] = None, rng: RngLike = None
+) -> GroundTruthEvolution:
+    """Convenience wrapper: run the simulator once and return the evolution."""
+    return GooglePlusSimulator(config=config, rng=rng).run()

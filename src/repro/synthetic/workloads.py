@@ -1,0 +1,83 @@
+"""Canonical workload configurations shared by tests, examples, and benches.
+
+Every benchmark that needs a synthetic Google+ evolution uses one of these
+presets so results are comparable across benches and reruns (they are also the
+workloads documented in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..graph.san import SAN
+from ..metrics.evolution import PhaseBoundaries
+from ..utils.rng import RngLike
+from .gplus import GooglePlusConfig, GroundTruthEvolution, simulate_google_plus
+
+#: Default seed used by the benchmarks (documented in EXPERIMENTS.md).
+BENCH_SEED = 20120835  # arXiv id of the paper
+
+
+def tiny_config(num_days: int = 40) -> GooglePlusConfig:
+    """A few hundred users — fast enough for unit tests."""
+    return GooglePlusConfig(
+        total_users=400,
+        num_days=num_days,
+        phases=PhaseBoundaries(phase_one_end=10, phase_two_end=30),
+    )
+
+
+def small_config() -> GooglePlusConfig:
+    """~1.5k users over 98 days — integration tests and quick examples."""
+    return GooglePlusConfig(total_users=1500, num_days=98)
+
+
+def default_config() -> GooglePlusConfig:
+    """~4k users over 98 days — the standard benchmark workload."""
+    return GooglePlusConfig(total_users=4000, num_days=98)
+
+
+def large_config() -> GooglePlusConfig:
+    """~10k users — for benches that want more statistical resolution."""
+    return GooglePlusConfig(total_users=10000, num_days=98)
+
+
+@dataclass
+class EvolutionWorkload:
+    """A simulated evolution plus the standard snapshot days used by benches."""
+
+    evolution: GroundTruthEvolution
+    snapshot_days: List[int]
+
+    def snapshots(self) -> List[Tuple[int, SAN]]:
+        return self.evolution.snapshots(self.snapshot_days)
+
+    def final_san(self) -> SAN:
+        return self.evolution.final_san()
+
+    def halfway_day(self) -> int:
+        return self.snapshot_days[len(self.snapshot_days) // 2]
+
+
+def standard_snapshot_days(num_days: int, count: int = 14) -> List[int]:
+    """Evenly spaced snapshot days including the first and last day."""
+    if count <= 1 or num_days <= 1:
+        return [num_days]
+    step = (num_days - 1) / (count - 1)
+    days = sorted({int(round(1 + index * step)) for index in range(count)})
+    if days[-1] != num_days:
+        days[-1] = num_days
+    return days
+
+
+def build_workload(
+    config: Optional[GooglePlusConfig] = None,
+    rng: RngLike = BENCH_SEED,
+    snapshot_count: int = 14,
+) -> EvolutionWorkload:
+    """Simulate an evolution and pair it with its standard snapshot days."""
+    chosen = config if config is not None else default_config()
+    evolution = simulate_google_plus(chosen, rng=rng)
+    days = standard_snapshot_days(chosen.num_days, count=snapshot_count)
+    return EvolutionWorkload(evolution=evolution, snapshot_days=days)

@@ -1,0 +1,26 @@
+"""Shared utilities: statistics helpers, RNG management, validation."""
+
+from .rng import ensure_rng, spawn_rngs
+from .stats import (
+    ccdf,
+    empirical_pmf,
+    log_binned_average,
+    log_binned_histogram,
+    percentile,
+    summarize,
+)
+from .validation import require_non_negative, require_positive, require_probability
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "ccdf",
+    "empirical_pmf",
+    "log_binned_average",
+    "log_binned_histogram",
+    "percentile",
+    "summarize",
+    "require_non_negative",
+    "require_positive",
+    "require_probability",
+]

@@ -1,0 +1,138 @@
+"""Statistics helpers used by the measurement and fitting layers.
+
+These are intentionally dependency-light (pure Python plus ``math``) so the
+measurement pipeline does not require numpy for basic summaries; the fitting
+package uses numpy where vectorisation matters.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def empirical_pmf(values: Iterable[int]) -> Dict[int, float]:
+    """Empirical probability mass function of integer samples.
+
+    Returns a dict mapping value -> fraction of samples equal to that value.
+    """
+    counts = Counter(values)
+    total = sum(counts.values())
+    if total == 0:
+        return {}
+    return {value: count / total for value, count in sorted(counts.items())}
+
+
+def ccdf(values: Iterable[float]) -> List[Tuple[float, float]]:
+    """Complementary CDF points ``(x, P[X >= x])`` for the observed values."""
+    ordered = sorted(values)
+    total = len(ordered)
+    if total == 0:
+        return []
+    points: List[Tuple[float, float]] = []
+    index = 0
+    while index < total:
+        value = ordered[index]
+        points.append((value, (total - index) / total))
+        while index < total and ordered[index] == value:
+            index += 1
+    return points
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile (``q`` in [0, 100]) of ``values``."""
+    if not values:
+        raise ValueError("cannot take the percentile of an empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return float(ordered[low])
+    weight = rank - low
+    return float(ordered[low] * (1 - weight) + ordered[high] * weight)
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Mean / std / min / median / max summary of a numeric sequence."""
+    if not values:
+        return {"count": 0, "mean": 0.0, "std": 0.0, "min": 0.0, "median": 0.0, "max": 0.0}
+    count = len(values)
+    mean = sum(values) / count
+    variance = sum((value - mean) ** 2 for value in values) / count
+    return {
+        "count": count,
+        "mean": mean,
+        "std": math.sqrt(variance),
+        "min": float(min(values)),
+        "median": percentile(values, 50),
+        "max": float(max(values)),
+    }
+
+
+def log_binned_histogram(
+    values: Iterable[int], bins_per_decade: int = 10
+) -> List[Tuple[float, float]]:
+    """Log-binned probability density of positive integer samples.
+
+    Used to draw degree distributions on log-log axes without the noise of raw
+    counts in the tail.  Returns ``(bin_center, density)`` pairs where the
+    densities integrate (sum over bin widths) to ~1.
+    """
+    positives = [value for value in values if value > 0]
+    if not positives:
+        return []
+    total = len(positives)
+    max_value = max(positives)
+    num_bins = max(1, int(math.ceil(math.log10(max_value + 1) * bins_per_decade)))
+    edges = [10 ** (index / bins_per_decade) for index in range(num_bins + 1)]
+    counts = [0] * num_bins
+    for value in positives:
+        position = math.log10(value) * bins_per_decade
+        bin_index = min(int(position), num_bins - 1)
+        counts[bin_index] += 1
+    points = []
+    for bin_index, count in enumerate(counts):
+        if count == 0:
+            continue
+        low, high = edges[bin_index], edges[bin_index + 1]
+        width = high - low
+        center = math.sqrt(low * high)
+        points.append((center, count / (total * width)))
+    return points
+
+
+def log_binned_average(
+    pairs: Iterable[Tuple[float, float]], bins_per_decade: int = 10
+) -> List[Tuple[float, float]]:
+    """Average the second coordinate within logarithmic bins of the first.
+
+    Used for knn-style plots (degree on the x axis, an average quantity on the
+    y axis).  Pairs with non-positive x are ignored.
+    """
+    cleaned = [(x, y) for x, y in pairs if x > 0]
+    if not cleaned:
+        return []
+    max_x = max(x for x, _ in cleaned)
+    num_bins = max(1, int(math.ceil(math.log10(max_x + 1) * bins_per_decade)))
+    sums = [0.0] * num_bins
+    counts = [0] * num_bins
+    for x, y in cleaned:
+        position = math.log10(x) * bins_per_decade
+        bin_index = min(int(position), num_bins - 1)
+        sums[bin_index] += y
+        counts[bin_index] += 1
+    points = []
+    for bin_index in range(num_bins):
+        if counts[bin_index] == 0:
+            continue
+        low = 10 ** (bin_index / bins_per_decade)
+        high = 10 ** ((bin_index + 1) / bins_per_decade)
+        center = math.sqrt(low * high)
+        points.append((center, sums[bin_index] / counts[bin_index]))
+    return points

@@ -1,0 +1,119 @@
+"""Tests for exact and approximate clustering coefficients."""
+
+import pytest
+
+from repro.algorithms import (
+    approximate_attribute_clustering,
+    approximate_average_clustering,
+    approximate_social_clustering,
+    average_attribute_clustering_coefficient,
+    average_clustering_for_attribute_type,
+    average_social_clustering_coefficient,
+    clustering_by_degree,
+    directed_links_among,
+    node_clustering_coefficient,
+    required_samples,
+    triple_score,
+)
+from repro.graph import SAN, san_from_edge_lists
+
+
+def test_clique_clustering_is_one(clique_san):
+    for node in clique_san.social_nodes():
+        assert node_clustering_coefficient(clique_san, node) == pytest.approx(1.0)
+    assert average_social_clustering_coefficient(clique_san) == pytest.approx(1.0)
+    # The shared attribute node's neighborhood is the whole clique.
+    assert node_clustering_coefficient(clique_san, "employer:Acme") == pytest.approx(1.0)
+    assert average_attribute_clustering_coefficient(clique_san) == pytest.approx(1.0)
+
+
+def test_ring_clustering_is_zero(ring_san):
+    assert average_social_clustering_coefficient(ring_san) == pytest.approx(0.0)
+
+
+def test_node_clustering_with_one_way_links():
+    # Triangle where only one directed link exists among the two neighbors of 1.
+    san = san_from_edge_lists([(1, 2), (1, 3), (2, 3)])
+    # Neighbors of 1 are {2, 3}; one directed link among them over 2 ordered pairs.
+    assert node_clustering_coefficient(san, 1) == pytest.approx(0.5)
+
+
+def test_node_clustering_degree_below_two_is_zero():
+    san = san_from_edge_lists([(1, 2)])
+    assert node_clustering_coefficient(san, 1) == 0.0
+
+
+def test_directed_links_among(figure1_san):
+    # Among {1, 2, 3}: 1<->2, 2<->3, 1->3 = 5 directed links.
+    assert directed_links_among(figure1_san, [1, 2, 3]) == 5
+
+
+def test_attribute_node_clustering(figure1_san):
+    # employer:Google members {1, 2} linked reciprocally -> c = 2/(2*1) = 1.
+    assert node_clustering_coefficient(figure1_san, "employer:Google") == pytest.approx(1.0)
+    # major:CS members {4, 5} are not linked.
+    assert node_clustering_coefficient(figure1_san, "major:Computer Science") == 0.0
+
+
+def test_average_clustering_for_attribute_type(figure1_san):
+    employer = average_clustering_for_attribute_type(figure1_san, "employer")
+    major = average_clustering_for_attribute_type(figure1_san, "major")
+    assert employer == pytest.approx(1.0)
+    assert major == pytest.approx(0.0)
+    assert average_clustering_for_attribute_type(figure1_san, "unknown") == 0.0
+
+
+def test_clustering_by_degree_social(clique_san):
+    points = clustering_by_degree(clique_san, kind="social")
+    assert points == [(5, pytest.approx(1.0))]
+
+
+def test_clustering_by_degree_invalid_kind(clique_san):
+    with pytest.raises(ValueError):
+        clustering_by_degree(clique_san, kind="bogus")
+
+
+def test_required_samples_formula():
+    # ceil(ln(200) / (2 * 0.002^2)) = 662290
+    assert required_samples(0.002, 100) == 662290
+    assert required_samples(0.05, 10) > 0
+    with pytest.raises(ValueError):
+        required_samples(0.0, 10)
+    with pytest.raises(ValueError):
+        required_samples(0.1, 0)
+
+
+def test_triple_score(figure1_san):
+    assert triple_score(figure1_san, 1, 2) == 2  # reciprocal
+    assert triple_score(figure1_san, 1, 3) == 1  # one-way
+    assert triple_score(figure1_san, 1, 6) == 0  # unconnected
+
+
+def test_approximate_matches_exact_on_clique(clique_san):
+    approx = approximate_social_clustering(clique_san, num_samples=2000, rng=5)
+    assert approx == pytest.approx(1.0, abs=0.05)
+
+
+def test_approximate_matches_exact_on_figure1(figure1_san):
+    exact = average_social_clustering_coefficient(figure1_san)
+    approx = approximate_social_clustering(figure1_san, num_samples=20000, rng=11)
+    assert approx == pytest.approx(exact, abs=0.05)
+
+
+def test_approximate_attribute_clustering(figure1_san):
+    exact = average_attribute_clustering_coefficient(figure1_san)
+    approx = approximate_attribute_clustering(figure1_san, num_samples=20000, rng=2)
+    assert approx == pytest.approx(exact, abs=0.07)
+
+
+def test_approximate_empty_population():
+    assert approximate_average_clustering(SAN(), population=[], num_samples=10) == 0.0
+
+
+def test_approximate_with_epsilon_nu_defaults(figure1_san):
+    # Uses the paper's K = ceil(ln(2*nu) / (2 eps^2)) with looser eps for speed.
+    value = approximate_average_clustering(
+        figure1_san, epsilon=0.05, nu=20, rng=3
+    )
+    exact = average_social_clustering_coefficient(figure1_san)
+    assert value == pytest.approx(exact, abs=0.1)

@@ -1,0 +1,65 @@
+"""Tests for HyperANF and effective-diameter estimation."""
+
+import pytest
+
+from repro.algorithms import (
+    effective_diameter,
+    effective_diameter_from_neighbourhood,
+    exact_neighbourhood_function,
+    neighbourhood_function,
+)
+from repro.graph import DiGraph, san_from_edge_lists
+
+
+def _path_graph(n):
+    return DiGraph([(i, i + 1) for i in range(n - 1)])
+
+
+def test_neighbourhood_function_monotone(ring_san):
+    totals = neighbourhood_function(ring_san.social, precision=8)
+    assert all(b >= a - 1e-6 for a, b in zip(totals, totals[1:]))
+
+
+def test_exact_neighbourhood_function_ring(ring_san):
+    totals = exact_neighbourhood_function(ring_san.social)
+    # N(0) = 10 self pairs, N(9) = all 100 ordered pairs.
+    assert totals[0] == 10
+    assert totals[-1] == 100
+    assert len(totals) == 10
+
+
+def test_hyperanf_close_to_exact_on_ring(ring_san):
+    approx = neighbourhood_function(ring_san.social, precision=10)
+    exact = exact_neighbourhood_function(ring_san.social)
+    assert abs(approx[-1] - exact[-1]) / exact[-1] < 0.15
+
+
+def test_effective_diameter_path_graph():
+    graph = _path_graph(11)  # directed path, max distance 10
+    diameter = effective_diameter(graph, precision=10)
+    exact = exact_neighbourhood_function(graph)
+    exact_diameter = effective_diameter_from_neighbourhood(exact)
+    assert abs(diameter - exact_diameter) < 1.5
+    assert exact_diameter > 5
+
+
+def test_effective_diameter_clique_is_one(clique_san):
+    diameter = effective_diameter(clique_san.social, precision=9)
+    assert diameter <= 1.5
+
+
+def test_effective_diameter_empty_graph():
+    assert effective_diameter(DiGraph(), precision=6) == 0.0
+
+
+def test_effective_diameter_from_neighbourhood_edge_cases():
+    assert effective_diameter_from_neighbourhood([10.0]) == 0.0
+    assert effective_diameter_from_neighbourhood([10.0, 10.0]) == 0.0
+    # All reachable pairs found at distance 1.
+    assert effective_diameter_from_neighbourhood([10.0, 110.0]) == pytest.approx(0.9, abs=0.2)
+
+
+def test_effective_diameter_disconnected_components():
+    san = san_from_edge_lists([(1, 2), (2, 1), (3, 4), (4, 3)])
+    diameter = effective_diameter(san.social, precision=8)
+    assert diameter <= 1.5

@@ -1,0 +1,85 @@
+"""Tests for the HyperLogLog counter."""
+
+import pytest
+
+from repro.algorithms import HyperLogLog
+
+
+def test_precision_validation():
+    with pytest.raises(ValueError):
+        HyperLogLog(precision=2)
+    with pytest.raises(ValueError):
+        HyperLogLog(precision=20)
+
+
+def test_empty_counter_estimates_zero():
+    counter = HyperLogLog(precision=7)
+    assert counter.cardinality() == pytest.approx(0.0, abs=1e-9)
+    assert len(counter) == 0
+
+
+def test_small_cardinality_is_close():
+    counter = HyperLogLog(precision=10)
+    for item in range(50):
+        counter.add(item)
+    assert abs(len(counter) - 50) <= 5
+
+
+def test_large_cardinality_within_error_bound():
+    counter = HyperLogLog(precision=11)
+    n = 20000
+    counter.update(range(n))
+    relative_error = abs(counter.cardinality() - n) / n
+    # Standard error is ~1.04/sqrt(2048) ~= 2.3%; allow 4 sigma.
+    assert relative_error < 0.1
+
+
+def test_duplicates_do_not_increase_estimate():
+    counter = HyperLogLog(precision=9)
+    for _ in range(10):
+        counter.update(range(100))
+    assert abs(len(counter) - 100) <= 15
+
+
+def test_union_update_matches_combined_set():
+    first = HyperLogLog(precision=10)
+    second = HyperLogLog(precision=10)
+    first.update(range(0, 1000))
+    second.update(range(500, 1500))
+    changed = first.union_update(second)
+    assert changed
+    relative_error = abs(first.cardinality() - 1500) / 1500
+    assert relative_error < 0.1
+
+
+def test_union_update_no_change_when_subset():
+    first = HyperLogLog(precision=8)
+    second = HyperLogLog(precision=8)
+    first.update(range(100))
+    second.update(range(50))
+    first.union_update(second)  # may or may not change registers
+    snapshot = list(first.registers)
+    assert first.union_update(second) is False
+    assert first.registers == snapshot
+
+
+def test_union_requires_same_precision():
+    with pytest.raises(ValueError):
+        HyperLogLog(precision=8).union_update(HyperLogLog(precision=9))
+
+
+def test_copy_is_independent():
+    counter = HyperLogLog(precision=8)
+    counter.update(range(100))
+    clone = counter.copy()
+    clone.update(range(100, 200))
+    assert clone.cardinality() > counter.cardinality()
+
+
+def test_salt_changes_hash_stream_but_not_estimate_much():
+    a = HyperLogLog(precision=10, salt=0)
+    b = HyperLogLog(precision=10, salt=1)
+    a.update(range(1000))
+    b.update(range(1000))
+    assert a.registers != b.registers
+    assert abs(a.cardinality() - b.cardinality()) / 1000 < 0.15

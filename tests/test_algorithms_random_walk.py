@@ -1,0 +1,51 @@
+"""Tests for random walks and the degree-capped adjacency."""
+
+from repro.algorithms import (
+    capped_undirected_adjacency,
+    random_walk,
+    random_walk_on_san,
+    stationary_degree_distribution,
+)
+from repro.graph import san_from_edge_lists
+
+
+def test_capped_adjacency_respects_cap(clique_san):
+    adjacency = capped_undirected_adjacency(clique_san.social, degree_cap=3, rng=1)
+    assert all(len(neighbors) <= 3 for neighbors in adjacency.values())
+    uncapped = capped_undirected_adjacency(clique_san.social, degree_cap=None)
+    assert all(len(neighbors) == 5 for neighbors in uncapped.values())
+
+
+def test_random_walk_length_and_adjacency(clique_san):
+    adjacency = capped_undirected_adjacency(clique_san.social)
+    path = random_walk(adjacency, 0, 10, rng=2)
+    assert len(path) == 11
+    for previous, current in zip(path, path[1:]):
+        assert current in adjacency[previous]
+
+
+def test_random_walk_stops_at_dead_end():
+    san = san_from_edge_lists([(1, 2)])
+    adjacency = {1: [2], 2: []}
+    path = random_walk(adjacency, 1, 5, rng=3)
+    assert path == [1, 2]
+
+
+def test_random_walk_on_san(figure1_san):
+    path = random_walk_on_san(figure1_san, 1, 4, rng=4)
+    assert path[0] == 1
+    assert len(path) >= 2
+
+
+def test_stationary_distribution_proportional_to_degree():
+    adjacency = {1: [2, 3], 2: [1], 3: [1]}
+    stationary = stationary_degree_distribution(adjacency)
+    assert stationary[1] == 0.5
+    assert stationary[2] == 0.25
+    assert sum(stationary.values()) == 1.0
+
+
+def test_stationary_distribution_empty_graph():
+    assert stationary_degree_distribution({}) == {}
+    uniform = stationary_degree_distribution({1: [], 2: []})
+    assert uniform[1] == 0.5

@@ -1,0 +1,65 @@
+"""Tests for the anonymous-communication timing-analysis experiment."""
+
+import pytest
+
+from repro.applications import (
+    AnonymityParameters,
+    attack_probability_vs_compromised,
+    end_to_end_attack_probability,
+)
+
+
+def test_no_compromised_nodes_means_no_attack(tiny_final_san):
+    probability = end_to_end_attack_probability(
+        tiny_final_san, set(), params=AnonymityParameters(num_circuits=200), rng=1
+    )
+    assert probability == 0.0
+
+
+def test_all_compromised_means_certain_attack(clique_san):
+    compromised = set(clique_san.social_nodes())
+    probability = end_to_end_attack_probability(
+        clique_san, compromised, params=AnonymityParameters(num_circuits=200), rng=2
+    )
+    # Initiators are honest-only; with everyone compromised no circuits start,
+    # so the convention is probability 0 in the degenerate case.
+    assert probability == 0.0
+    # Compromise all but one node: almost every circuit's first and last
+    # relays are compromised (the walk occasionally revisits the honest
+    # initiator, so the probability is high but not exactly 1).
+    compromised.discard(0)
+    probability = end_to_end_attack_probability(
+        clique_san, compromised, params=AnonymityParameters(num_circuits=200), rng=2
+    )
+    assert probability > 0.7
+
+
+def test_attack_probability_increases_with_compromise(tiny_final_san):
+    results = attack_probability_vs_compromised(
+        tiny_final_san,
+        [0, 30, 120],
+        params=AnonymityParameters(num_circuits=400),
+        rng=3,
+    )
+    probabilities = [r.attack_probability for r in results]
+    assert probabilities[0] == 0.0
+    assert probabilities[2] > probabilities[1] >= 0.0
+    assert all(0.0 <= p <= 1.0 for p in probabilities)
+
+
+def test_attack_probability_roughly_quadratic(clique_san):
+    """With f fraction compromised and uniform relay choice, the end-to-end
+    attack probability is ~f^2."""
+    compromised = {0, 1, 2}
+    probability = end_to_end_attack_probability(
+        clique_san, compromised, params=AnonymityParameters(num_circuits=3000), rng=4
+    )
+    # 3 of 6 nodes compromised; relays drawn nearly uniformly -> about 0.25-0.36.
+    assert 0.1 < probability < 0.6
+
+
+def test_compromised_count_capped(figure1_san):
+    results = attack_probability_vs_compromised(
+        figure1_san, [50], params=AnonymityParameters(num_circuits=100), rng=5
+    )
+    assert results[0].num_compromised == figure1_san.number_of_social_nodes()

@@ -1,0 +1,76 @@
+"""Tests for the SybilLimit-based Sybil-defense experiment."""
+
+import random
+
+import pytest
+
+from repro.algorithms import capped_undirected_adjacency
+from repro.applications import (
+    SybilLimitParameters,
+    acceptance_probability,
+    count_attack_edges,
+    sybil_identities_vs_compromised,
+)
+
+
+def test_parameters_defaults():
+    params = SybilLimitParameters()
+    assert params.walk_length == 10
+    assert params.degree_bound == 100
+    assert params.sybil_bound_per_edge == 10.0
+    custom = SybilLimitParameters(sybils_per_attack_edge=25.0)
+    assert custom.sybil_bound_per_edge == 25.0
+
+
+def test_count_attack_edges_clique(clique_san):
+    adjacency = capped_undirected_adjacency(clique_san.social)
+    compromised = {0, 1}
+    # Each compromised node has 4 honest neighbors.
+    assert count_attack_edges(adjacency, compromised) == 8
+    assert count_attack_edges(adjacency, set()) == 0
+
+
+def test_sybil_identities_scale_with_compromised_nodes(tiny_final_san):
+    results = sybil_identities_vs_compromised(
+        tiny_final_san, [0, 10, 40], rng=3
+    )
+    assert [r.num_compromised for r in results] == [0, 10, 40]
+    assert results[0].num_sybil_identities == 0
+    assert results[1].num_sybil_identities > 0
+    assert results[2].num_sybil_identities > results[1].num_sybil_identities
+    # Sybil identities = attack edges * w.
+    for result in results:
+        assert result.num_sybil_identities == result.num_attack_edges * 10
+
+
+def test_sybil_compromised_count_capped_at_population(figure1_san):
+    results = sybil_identities_vs_compromised(figure1_san, [100], rng=1)
+    assert results[0].num_compromised == figure1_san.number_of_social_nodes()
+
+
+def test_degree_bound_limits_attack_edges(tiny_final_san):
+    unlimited = sybil_identities_vs_compromised(
+        tiny_final_san, [30], params=SybilLimitParameters(degree_bound=10 ** 6), rng=7
+    )[0]
+    bounded = sybil_identities_vs_compromised(
+        tiny_final_san, [30], params=SybilLimitParameters(degree_bound=5), rng=7
+    )[0]
+    assert bounded.num_attack_edges <= unlimited.num_attack_edges
+
+
+def test_acceptance_probability_honest_nodes(clique_san):
+    probability = acceptance_probability(
+        clique_san, 0, 3, params=SybilLimitParameters(walk_length=3), num_routes=50, rng=5
+    )
+    # In a well-connected honest region the tails intersect nearly always.
+    assert probability > 0.5
+
+
+def test_acceptance_probability_disconnected_nodes():
+    from repro.graph import san_from_edge_lists
+
+    san = san_from_edge_lists([(1, 2), (2, 1), (3, 4), (4, 3)])
+    probability = acceptance_probability(
+        san, 1, 3, params=SybilLimitParameters(walk_length=4), num_routes=30, rng=6
+    )
+    assert probability == 0.0

@@ -1,0 +1,105 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.graph import load_san_tsv, save_san_tsv
+
+
+def test_simulate_writes_tsv_pair(tmp_path, capsys):
+    prefix = tmp_path / "gplus"
+    exit_code = main(
+        [
+            "simulate",
+            "--users", "150",
+            "--days", "20",
+            "--phase-one-end", "5",
+            "--phase-two-end", "15",
+            "--seed", "3",
+            "--out-prefix", str(prefix),
+        ]
+    )
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "crawled day 20" in output
+    san = load_san_tsv(f"{prefix}.social.tsv", f"{prefix}.attrs.tsv")
+    assert san.number_of_social_nodes() > 50
+    assert san.number_of_social_edges() > 0
+
+
+def test_simulate_rejects_out_of_range_day(tmp_path, capsys):
+    exit_code = main(
+        [
+            "simulate",
+            "--users", "120",
+            "--days", "10",
+            "--phase-one-end", "3",
+            "--phase-two-end", "7",
+            "--day", "99",
+            "--out-prefix", str(tmp_path / "x"),
+        ]
+    )
+    assert exit_code == 2
+    assert "--day must be" in capsys.readouterr().err
+
+
+def test_measure_prints_report(tmp_path, capsys, figure1_san):
+    social = tmp_path / "social.tsv"
+    attrs = tmp_path / "attrs.tsv"
+    save_san_tsv(figure1_san, social, attrs)
+    exit_code = main(
+        ["measure", "--social", str(social), "--attributes", str(attrs), "--no-diameter"]
+    )
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "reciprocity" in output
+    assert "social_nodes" in output
+    assert "social_effective_diameter" not in output
+
+
+def test_estimate_prints_parameters(tmp_path, capsys, tiny_final_san):
+    social = tmp_path / "social.tsv"
+    attrs = tmp_path / "attrs.tsv"
+    save_san_tsv(tiny_final_san, social, attrs)
+    exit_code = main(["estimate", "--social", str(social), "--attributes", str(attrs)])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "new_attribute_probability" in output
+    assert "lifetime.mu" in output
+
+
+def test_generate_default_parameters(tmp_path, capsys):
+    prefix = tmp_path / "synthetic"
+    exit_code = main(
+        ["generate", "--steps", "150", "--seed", "9", "--out-prefix", str(prefix)]
+    )
+    assert exit_code == 0
+    san = load_san_tsv(f"{prefix}.social.tsv", f"{prefix}.attrs.tsv")
+    assert san.number_of_social_nodes() == 155  # 150 steps + 5 seed nodes
+    assert san.number_of_attribute_edges() > 0
+
+
+def test_generate_with_reference_and_ablations(tmp_path, capsys, tiny_final_san):
+    social = tmp_path / "ref.social.tsv"
+    attrs = tmp_path / "ref.attrs.tsv"
+    save_san_tsv(tiny_final_san, social, attrs)
+    prefix = tmp_path / "fitted"
+    exit_code = main(
+        [
+            "generate",
+            "--steps", "120",
+            "--reference-social", str(social),
+            "--reference-attributes", str(attrs),
+            "--no-lapa",
+            "--no-focal-closure",
+            "--out-prefix", str(prefix),
+        ]
+    )
+    assert exit_code == 0
+    san = load_san_tsv(f"{prefix}.social.tsv", f"{prefix}.attrs.tsv")
+    assert san.number_of_social_nodes() == 125
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

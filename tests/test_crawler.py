@@ -1,0 +1,118 @@
+"""Tests for the privacy model, BFS crawler, and daily snapshot series."""
+
+import pytest
+
+from repro.crawler import (
+    FULLY_PUBLIC,
+    BFSCrawler,
+    DailyCrawler,
+    PrivacyModel,
+    crawl_evolution,
+    crawl_snapshot,
+)
+from repro.graph import san_from_edge_lists
+
+
+def test_privacy_model_is_deterministic_per_user():
+    privacy = PrivacyModel(hide_links_probability=0.5, seed=3)
+    decisions = [privacy.hides_links(user) for user in range(50)]
+    assert decisions == [privacy.hides_links(user) for user in range(50)]
+    assert any(decisions) and not all(decisions)
+
+
+def test_privacy_model_extremes():
+    assert not FULLY_PUBLIC.hides_links(1)
+    assert not FULLY_PUBLIC.hides_attributes(1)
+    always = PrivacyModel(hide_links_probability=1.0, hide_attributes_probability=1.0)
+    assert always.hides_links("anyone") and always.hides_attributes("anyone")
+    with pytest.raises(ValueError):
+        PrivacyModel(hide_links_probability=2.0)
+
+
+def test_full_crawl_recovers_connected_ground_truth(figure1_san):
+    result = crawl_snapshot(figure1_san, seeds=[1])
+    assert result.coverage == 1.0
+    assert result.san.number_of_social_edges() == figure1_san.number_of_social_edges()
+    assert result.san.number_of_attribute_edges() == figure1_san.number_of_attribute_edges()
+
+
+def test_crawl_only_reaches_weakly_connected_component():
+    ground_truth = san_from_edge_lists([(1, 2), (2, 3), (10, 11)])
+    result = crawl_snapshot(ground_truth, seeds=[1])
+    assert result.san.number_of_social_nodes() == 3
+    assert result.coverage == pytest.approx(3 / 5)
+    assert not result.san.is_social_node(10)
+
+
+def test_crawl_uses_incoming_lists_too():
+    # Seed 3 has no outgoing links; it is discoverable only via incoming lists.
+    ground_truth = san_from_edge_lists([(1, 3), (2, 3), (1, 2)])
+    result = crawl_snapshot(ground_truth, seeds=[3])
+    assert result.san.number_of_social_nodes() == 3
+
+
+def test_crawl_empty_ground_truth():
+    from repro.graph import SAN
+
+    result = crawl_snapshot(SAN())
+    assert result.coverage == 0.0
+    assert result.san.number_of_social_nodes() == 0
+
+
+def test_crawl_max_nodes_truncates(figure1_san):
+    result = crawl_snapshot(figure1_san, seeds=[1], max_nodes=2)
+    assert result.san.number_of_social_nodes() <= figure1_san.number_of_social_nodes()
+    assert len(result.visited) >= 2
+
+
+def test_private_links_reduce_edge_coverage(tiny_evolution):
+    ground_truth = tiny_evolution.final_san()
+    public = crawl_snapshot(ground_truth)
+    private = crawl_snapshot(
+        ground_truth, privacy=PrivacyModel(hide_links_probability=0.5, seed=1)
+    )
+    assert private.san.number_of_social_edges() <= public.san.number_of_social_edges()
+
+
+def test_hidden_attributes_are_not_collected(figure1_san):
+    privacy = PrivacyModel(hide_attributes_probability=1.0)
+    result = crawl_snapshot(figure1_san, seeds=[1], privacy=privacy)
+    assert result.san.number_of_attribute_edges() == 0
+
+
+def test_crawl_series_expands_and_covers(tiny_evolution, tiny_snapshot_days, tiny_snapshots):
+    series = tiny_snapshots
+    assert len(series) == len(tiny_snapshot_days)
+    sizes = [san.number_of_social_nodes() for _, san in series]
+    assert sizes == sorted(sizes)
+    # Coverage stays high (paper: >= 70%).
+    assert all(coverage >= 0.7 for coverage in series.coverage.values())
+    assert series.days() == tiny_snapshot_days
+
+
+def test_snapshot_series_accessors(tiny_snapshots, tiny_snapshot_days):
+    assert tiny_snapshots.at(tiny_snapshot_days[0]).number_of_social_nodes() > 0
+    with pytest.raises(KeyError):
+        tiny_snapshots.at(9999)
+    assert tiny_snapshots.last().number_of_social_nodes() >= tiny_snapshots.halfway().number_of_social_nodes()
+    assert tiny_snapshots.halfway_day() in tiny_snapshot_days
+
+
+def test_snapshot_series_empty_errors():
+    from repro.crawler import SnapshotSeries
+
+    empty = SnapshotSeries()
+    with pytest.raises(ValueError):
+        empty.last()
+    with pytest.raises(ValueError):
+        empty.halfway()
+
+
+def test_crawl_evolution_with_privacy(tiny_evolution, tiny_snapshot_days):
+    series = crawl_evolution(
+        tiny_evolution,
+        tiny_snapshot_days[-2:],
+        privacy=PrivacyModel(hide_links_probability=0.05, seed=2),
+    )
+    assert len(series) == 2
+    assert all(coverage > 0.5 for coverage in series.coverage.values())

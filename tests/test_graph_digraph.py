@@ -1,0 +1,144 @@
+"""Unit tests for the directed-graph substrate."""
+
+import pytest
+
+from repro.graph import DiGraph
+from repro.graph.errors import EdgeNotFoundError, NodeNotFoundError
+
+
+def test_empty_graph_has_no_nodes_or_edges():
+    graph = DiGraph()
+    assert graph.number_of_nodes() == 0
+    assert graph.number_of_edges() == 0
+    assert list(graph.nodes()) == []
+    assert list(graph.edges()) == []
+
+
+def test_add_edge_creates_both_endpoints():
+    graph = DiGraph()
+    assert graph.add_edge("a", "b") is True
+    assert graph.has_node("a") and graph.has_node("b")
+    assert graph.has_edge("a", "b")
+    assert not graph.has_edge("b", "a")
+
+
+def test_add_edge_is_idempotent():
+    graph = DiGraph()
+    assert graph.add_edge(1, 2) is True
+    assert graph.add_edge(1, 2) is False
+    assert graph.number_of_edges() == 1
+
+
+def test_constructor_accepts_edge_iterable():
+    graph = DiGraph([(1, 2), (2, 3), (3, 1)])
+    assert graph.number_of_nodes() == 3
+    assert graph.number_of_edges() == 3
+
+
+def test_in_and_out_degree():
+    graph = DiGraph([(1, 2), (1, 3), (3, 2)])
+    assert graph.out_degree(1) == 2
+    assert graph.in_degree(1) == 0
+    assert graph.in_degree(2) == 2
+    assert graph.out_degree(2) == 0
+
+
+def test_neighbors_union_excludes_self():
+    graph = DiGraph([(1, 2), (2, 1), (1, 1)])
+    assert graph.neighbors(1) == {2}
+    assert graph.degree(1) == 1
+
+
+def test_is_reciprocal():
+    graph = DiGraph([(1, 2), (2, 1), (2, 3)])
+    assert graph.is_reciprocal(1, 2)
+    assert graph.is_reciprocal(2, 1)
+    assert not graph.is_reciprocal(2, 3)
+
+
+def test_successors_of_missing_node_raises():
+    graph = DiGraph()
+    with pytest.raises(NodeNotFoundError):
+        graph.successors("missing")
+    with pytest.raises(NodeNotFoundError):
+        graph.predecessors("missing")
+
+
+def test_remove_edge():
+    graph = DiGraph([(1, 2), (2, 3)])
+    graph.remove_edge(1, 2)
+    assert not graph.has_edge(1, 2)
+    assert graph.number_of_edges() == 1
+    with pytest.raises(EdgeNotFoundError):
+        graph.remove_edge(1, 2)
+
+
+def test_remove_node_removes_incident_edges():
+    graph = DiGraph([(1, 2), (2, 3), (3, 1), (2, 1)])
+    graph.remove_node(2)
+    assert not graph.has_node(2)
+    assert graph.number_of_edges() == 1
+    assert graph.has_edge(3, 1)
+
+
+def test_remove_node_with_self_loop_keeps_edge_count_consistent():
+    graph = DiGraph([(1, 1), (1, 2)])
+    graph.remove_node(1)
+    assert graph.number_of_edges() == 0
+    assert graph.number_of_nodes() == 1
+
+
+def test_remove_missing_node_raises():
+    graph = DiGraph()
+    with pytest.raises(NodeNotFoundError):
+        graph.remove_node(7)
+
+
+def test_copy_is_independent():
+    graph = DiGraph([(1, 2)])
+    clone = graph.copy()
+    clone.add_edge(2, 3)
+    assert graph.number_of_edges() == 1
+    assert clone.number_of_edges() == 2
+
+
+def test_subgraph_keeps_only_internal_edges():
+    graph = DiGraph([(1, 2), (2, 3), (3, 4), (4, 1)])
+    sub = graph.subgraph([1, 2, 3])
+    assert sub.number_of_nodes() == 3
+    assert sub.has_edge(1, 2) and sub.has_edge(2, 3)
+    assert not sub.has_edge(3, 4)
+
+
+def test_reverse_flips_edges():
+    graph = DiGraph([(1, 2), (2, 3)])
+    reversed_graph = graph.reverse()
+    assert reversed_graph.has_edge(2, 1)
+    assert reversed_graph.has_edge(3, 2)
+    assert reversed_graph.number_of_edges() == 2
+    assert not reversed_graph.has_edge(1, 2)
+
+
+def test_to_undirected_adjacency_symmetric():
+    graph = DiGraph([(1, 2), (3, 2)])
+    adjacency = graph.to_undirected_adjacency()
+    assert adjacency[1] == {2}
+    assert adjacency[2] == {1, 3}
+    assert adjacency[3] == {2}
+
+
+def test_edge_count_tracks_additions_and_removals():
+    graph = DiGraph()
+    for i in range(5):
+        graph.add_edge(i, i + 1)
+    assert graph.number_of_edges() == 5
+    graph.remove_edge(0, 1)
+    assert graph.number_of_edges() == 4
+    assert len(list(graph.edges())) == 4
+
+
+def test_len_and_contains():
+    graph = DiGraph([(1, 2)])
+    assert len(graph) == 2
+    assert 1 in graph
+    assert 5 not in graph

@@ -1,0 +1,72 @@
+"""Round-trip tests for SAN serialization."""
+
+import pytest
+
+from repro.graph import (
+    load_san_json,
+    load_san_tsv,
+    save_san_json,
+    save_san_tsv,
+)
+from repro.graph.errors import SerializationError
+
+
+def test_tsv_round_trip(tmp_path, figure1_san):
+    social = tmp_path / "social.tsv"
+    attrs = tmp_path / "attrs.tsv"
+    save_san_tsv(figure1_san, social, attrs)
+    loaded = load_san_tsv(social, attrs)
+    assert loaded.number_of_social_nodes() == figure1_san.number_of_social_nodes()
+    assert loaded.number_of_social_edges() == figure1_san.number_of_social_edges()
+    assert loaded.number_of_attribute_edges() == figure1_san.number_of_attribute_edges()
+    assert loaded.has_social_edge(1, 2)
+    assert loaded.attribute_type("employer:Google") == "employer"
+
+
+def test_tsv_integer_ids_preserved(tmp_path, figure1_san):
+    social = tmp_path / "social.tsv"
+    attrs = tmp_path / "attrs.tsv"
+    save_san_tsv(figure1_san, social, attrs)
+    loaded = load_san_tsv(social, attrs)
+    assert all(isinstance(node, int) for node in loaded.social_nodes())
+
+
+def test_tsv_malformed_social_raises(tmp_path):
+    social = tmp_path / "social.tsv"
+    attrs = tmp_path / "attrs.tsv"
+    social.write_text("1\t2\t3\n")
+    attrs.write_text("")
+    with pytest.raises(SerializationError):
+        load_san_tsv(social, attrs)
+
+
+def test_tsv_malformed_attribute_raises(tmp_path):
+    social = tmp_path / "social.tsv"
+    attrs = tmp_path / "attrs.tsv"
+    social.write_text("1\t2\n")
+    attrs.write_text("1\temployer\n")
+    with pytest.raises(SerializationError):
+        load_san_tsv(social, attrs)
+
+
+def test_json_round_trip(tmp_path, figure1_san):
+    path = tmp_path / "san.json"
+    save_san_json(figure1_san, path)
+    loaded = load_san_json(path)
+    assert loaded.number_of_social_edges() == figure1_san.number_of_social_edges()
+    assert loaded.number_of_attribute_edges() == figure1_san.number_of_attribute_edges()
+    assert loaded.attribute_info("city:San Francisco").value == "San Francisco"
+
+
+def test_json_invalid_raises(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{not json")
+    with pytest.raises(SerializationError):
+        load_san_json(path)
+
+
+def test_json_empty_document(tmp_path):
+    path = tmp_path / "empty.json"
+    path.write_text("{}")
+    loaded = load_san_json(path)
+    assert loaded.number_of_social_nodes() == 0

@@ -1,0 +1,64 @@
+"""Tests for attribute-structure metrics."""
+
+import pytest
+
+from repro.metrics import (
+    approximate_attribute_clustering_coefficient,
+    attribute_clustering_by_type,
+    attribute_clustering_distribution,
+    attribute_link_counts_by_type,
+    attribute_type_counts,
+    exact_attribute_clustering_coefficient,
+    social_clustering_distribution,
+    top_attribute_nodes,
+)
+
+
+def test_attribute_clustering_by_type(figure1_san):
+    by_type = attribute_clustering_by_type(figure1_san)
+    assert set(by_type) == {"employer", "school", "major", "city"}
+    # Google employees (1, 2) are reciprocally linked; CS majors (4, 5) are not.
+    assert by_type["employer"] > by_type["major"]
+    assert by_type["employer"] == pytest.approx(1.0)
+
+
+def test_clustering_distributions(figure1_san):
+    attribute_points = attribute_clustering_distribution(figure1_san)
+    social_points = social_clustering_distribution(figure1_san)
+    assert all(degree >= 2 for degree, _ in attribute_points)
+    assert all(0.0 <= value <= 1.0 for _, value in attribute_points)
+    assert all(0.0 <= value <= 1.0 for _, value in social_points)
+
+
+def test_exact_and_approximate_attribute_clustering(figure1_san):
+    exact = exact_attribute_clustering_coefficient(figure1_san)
+    approx = approximate_attribute_clustering_coefficient(
+        figure1_san, num_samples=20000, rng=1
+    )
+    assert approx == pytest.approx(exact, abs=0.05)
+
+
+def test_top_attribute_nodes(figure1_san):
+    top = top_attribute_nodes(figure1_san, count=2)
+    assert len(top) == 2
+    assert all(count == 2 for _, count in top)
+    top_employers = top_attribute_nodes(figure1_san, attr_type="employer", count=5)
+    assert top_employers == [("employer:Google", 2)]
+
+
+def test_attribute_type_counts(figure1_san):
+    counts = attribute_type_counts(figure1_san)
+    assert counts == {"employer": 1, "school": 1, "major": 1, "city": 1}
+
+
+def test_attribute_link_counts_by_type(figure1_san):
+    counts = attribute_link_counts_by_type(figure1_san)
+    assert counts == {"employer": 2, "school": 2, "major": 2, "city": 2}
+
+
+def test_attribute_metrics_empty():
+    from repro.graph import SAN
+
+    assert attribute_clustering_by_type(SAN()) == {}
+    assert attribute_type_counts(SAN()) == {}
+    assert top_attribute_nodes(SAN()) == []

@@ -1,0 +1,40 @@
+"""Tests for social and attribute effective diameters."""
+
+import pytest
+
+from repro.metrics import (
+    attribute_effective_diameter,
+    distance_distribution,
+    distance_mode,
+    social_effective_diameter,
+)
+
+
+def test_social_diameter_methods_agree_on_ring(ring_san):
+    hyperanf = social_effective_diameter(ring_san, method="hyperanf", precision=9)
+    sampled = social_effective_diameter(ring_san, method="sampled", num_sources=10, rng=1)
+    assert abs(hyperanf - sampled) < 1.5
+    assert sampled > 5  # 90th percentile of distances 1..9 is ~8
+
+
+def test_social_diameter_clique(clique_san):
+    assert social_effective_diameter(clique_san, method="sampled", rng=1) <= 1.0
+
+
+def test_social_diameter_invalid_method(figure1_san):
+    with pytest.raises(ValueError):
+        social_effective_diameter(figure1_san, method="exactly")
+
+
+def test_attribute_effective_diameter(figure1_san):
+    diameter = attribute_effective_diameter(figure1_san, num_pairs=50, rng=2)
+    assert diameter >= 1.0
+
+
+def test_distance_distribution_and_mode(ring_san):
+    histogram = distance_distribution(ring_san, num_sources=10, rng=3)
+    assert set(histogram) == set(range(1, 10))
+    # Uniform histogram: mode is the first maximal key.
+    assert distance_mode(histogram) in range(1, 10)
+    assert distance_mode({}) is None
+    assert distance_mode({3: 5, 4: 9}) == 4

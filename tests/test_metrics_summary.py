@@ -1,0 +1,39 @@
+"""Tests for the whole-SAN metric report."""
+
+import pytest
+
+from repro.metrics import format_report, san_metric_report
+
+
+def test_report_contains_headline_metrics(figure1_san):
+    report = san_metric_report(figure1_san, clustering_samples=3000, rng=1)
+    expected_keys = {
+        "social_nodes",
+        "attribute_nodes",
+        "reciprocity",
+        "social_density",
+        "attribute_density",
+        "attribute_declaration_fraction",
+        "social_assortativity",
+        "attribute_assortativity",
+        "avg_social_clustering",
+        "avg_attribute_clustering",
+        "social_effective_diameter",
+        "mean_out_degree",
+    }
+    assert expected_keys.issubset(report.keys())
+    assert report["reciprocity"] == pytest.approx(0.6)
+    assert report["social_nodes"] == 6
+
+
+def test_report_without_diameter(figure1_san):
+    report = san_metric_report(figure1_san, include_diameter=False, rng=1)
+    assert "social_effective_diameter" not in report
+
+
+def test_format_report_renders_all_keys(figure1_san):
+    report = san_metric_report(figure1_san, include_diameter=False, rng=1)
+    text = format_report(report, title="Fixture SAN")
+    assert "Fixture SAN" in text
+    for key in report:
+        assert key in text

@@ -1,0 +1,82 @@
+"""Tests for arrival histories (recording, replay, snapshot diffing)."""
+
+import pytest
+
+from repro.graph import SAN, san_from_edge_lists
+from repro.models import ArrivalEvent, ArrivalHistory, apply_event
+
+
+def test_event_validation():
+    with pytest.raises(ValueError):
+        ArrivalEvent("bogus", 1)
+    with pytest.raises(ValueError):
+        ArrivalEvent("social", 1)  # missing second endpoint
+    event = ArrivalEvent("node", 1)
+    assert event.second is None
+
+
+def test_record_and_counts():
+    history = ArrivalHistory()
+    history.record_node(1)
+    history.record_attribute_link(1, "city:SF", attr_type="city", value="SF")
+    history.record_social_link(1, 2)
+    history.record_social_link(2, 1)
+    assert history.num_node_joins() == 1
+    assert history.num_social_links() == 2
+    assert len(history.social_link_events()) == 2
+
+
+def test_replay_yields_state_before_event():
+    history = ArrivalHistory()
+    history.record_node(1)
+    history.record_node(2)
+    history.record_social_link(1, 2)
+    states = []
+    for state, event in history.replay():
+        if event.kind == "social":
+            states.append(state.number_of_social_nodes())
+            assert not state.has_social_edge(1, 2)
+    assert states == [2]
+
+
+def test_final_san_applies_all_events():
+    history = ArrivalHistory()
+    history.record_node(1)
+    history.record_node(2)
+    history.record_attribute_link(2, "employer:G", attr_type="employer")
+    history.record_social_link(1, 2)
+    final = history.final_san()
+    assert final.has_social_edge(1, 2)
+    assert final.has_attribute_edge(2, "employer:G")
+    # The original initial SAN is untouched.
+    assert history.initial.number_of_social_nodes() == 0
+
+
+def test_from_snapshots_diff():
+    earlier = san_from_edge_lists([(1, 2)], [(1, "city", "A")])
+    later = earlier.copy()
+    later.add_social_node(3)
+    later.add_attribute_edge(3, "city:B", attr_type="city", value="B")
+    later.add_attribute_edge(2, "city:A", attr_type="city", value="A")
+    later.add_social_edge(3, 1)
+    later.add_social_edge(2, 1)
+
+    history = ArrivalHistory.from_snapshots(earlier, later)
+    final = history.final_san()
+    assert final.number_of_social_edges() == later.number_of_social_edges()
+    assert final.number_of_attribute_edges() == later.number_of_attribute_edges()
+    assert history.num_node_joins() == 1
+    assert history.num_social_links() == 2
+    # New nodes and their attributes come before the new social links.
+    kinds = [event.kind for event in history.events]
+    assert kinds.index("node") < kinds.index("social")
+
+
+def test_apply_event_kinds():
+    san = SAN()
+    apply_event(san, ArrivalEvent("node", 5))
+    apply_event(san, ArrivalEvent("attribute", 5, "a", attr_type="t"))
+    apply_event(san, ArrivalEvent("social", 5, 6))
+    assert san.is_social_node(6)
+    assert san.has_attribute_edge(5, "a")
+    assert san.attribute_type("a") == "t"

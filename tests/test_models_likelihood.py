@@ -1,0 +1,142 @@
+"""Tests for the attachment-model likelihood evaluation (Figure 15 machinery)."""
+
+import math
+import random
+
+import pytest
+
+from repro.graph import SAN
+from repro.models import (
+    ArrivalHistory,
+    AttachmentModelSpec,
+    AttachmentParameters,
+    evaluate_attachment_models,
+    figure15_sweep,
+)
+from repro.models.attachment import LinearAttributePreferentialAttachment
+
+
+def _toy_history():
+    """Small hand-built history: a hub accumulating links plus attribute ties."""
+    initial = SAN()
+    for node in range(4):
+        initial.add_social_node(node)
+    initial.add_social_edge(1, 0)
+    initial.add_social_edge(2, 0)
+    initial.add_attribute_edge(2, "g", attr_type="employer")
+    initial.add_attribute_edge(3, "g", attr_type="employer")
+
+    history = ArrivalHistory(initial=initial)
+    history.record_node(4)
+    history.record_attribute_link(4, "g", attr_type="employer")
+    history.record_social_link(4, 0)   # preferential: the hub
+    history.record_social_link(4, 2)   # attribute-driven: shares "g"
+    history.record_node(5)
+    history.record_social_link(5, 0)
+    return history
+
+
+def test_spec_names_and_attribute_factor():
+    pa = AttachmentModelSpec(kind="pa", alpha=1.0)
+    assert pa.name == "pa(alpha=1, beta=0)"
+    lapa = AttachmentModelSpec(kind="lapa", alpha=1.0, beta=100.0)
+    assert "lapa" in lapa.name
+    assert lapa.attribute_factor(2.0) == pytest.approx(201.0)
+    papa = AttachmentModelSpec(kind="papa", alpha=1.0, beta=2.0)
+    assert papa.attribute_factor(3.0) == pytest.approx(10.0)
+    assert papa.attribute_factor(0.0) == pytest.approx(1.0)
+    flat_papa = AttachmentModelSpec(kind="papa", alpha=1.0, beta=0.0)
+    assert flat_papa.attribute_factor(0.0) == pytest.approx(2.0)
+
+
+def test_evaluate_requires_social_links():
+    history = ArrivalHistory()
+    history.record_node(1)
+    with pytest.raises(ValueError):
+        evaluate_attachment_models(history, [AttachmentModelSpec(kind="pa", alpha=1.0)])
+
+
+def test_loglikelihoods_are_negative_and_finite():
+    history = _toy_history()
+    specs = [
+        AttachmentModelSpec(kind="pa", alpha=1.0, label="pa"),
+        AttachmentModelSpec(kind="pa", alpha=0.0, label="uniform"),
+        AttachmentModelSpec(kind="lapa", alpha=1.0, beta=100.0, label="lapa"),
+    ]
+    result = evaluate_attachment_models(history, specs, max_links=None)
+    assert result.num_links_scored == 3
+    for value in result.log_likelihoods.values():
+        assert value < 0
+        assert math.isfinite(value)
+
+
+def test_likelihood_matches_bruteforce_for_lapa():
+    """The incremental evaluator must agree with a naive O(V) computation."""
+    history = _toy_history()
+    spec = AttachmentModelSpec(kind="lapa", alpha=1.0, beta=50.0, label="lapa")
+    result = evaluate_attachment_models(history, [spec], smoothing=1.0, max_links=None)
+
+    # Brute force: replay and sum log(w(u,v) / sum_x w(u,x)) over social events.
+    params = AttachmentParameters(alpha=1.0, beta=50.0, smoothing=1.0)
+    model = LinearAttributePreferentialAttachment(params)
+    expected = 0.0
+    for state, event in history.replay():
+        if event.kind != "social":
+            continue
+        source, target = event.first, event.second
+        if state.has_social_edge(source, target) or source == target:
+            continue
+        weights = {
+            node: model.weight(state, source, node)
+            for node in state.social_nodes()
+            if node != source
+        }
+        expected += math.log(weights[target] / sum(weights.values()))
+    assert result.log_likelihoods["lapa"] == pytest.approx(expected, rel=1e-9)
+
+
+def test_pa_beats_uniform_on_preferential_history():
+    """A history dominated by hub attachment should favour PA over uniform."""
+    initial = SAN()
+    for node in range(3):
+        initial.add_social_node(node)
+    initial.add_social_edge(1, 0)
+    initial.add_social_edge(2, 0)
+    history = ArrivalHistory(initial=initial)
+    for new_node in range(3, 40):
+        history.record_node(new_node)
+        history.record_social_link(new_node, 0)
+    specs = [
+        AttachmentModelSpec(kind="pa", alpha=1.0, label="pa"),
+        AttachmentModelSpec(kind="pa", alpha=0.0, label="uniform"),
+    ]
+    result = evaluate_attachment_models(history, specs, max_links=None)
+    assert result.log_likelihoods["pa"] > result.log_likelihoods["uniform"]
+    improvements = result.relative_improvement_over("uniform")
+    assert improvements["pa"] > 0
+
+
+def test_relative_improvement_over_baseline_zero_raises():
+    from repro.models.likelihood import LikelihoodResult
+
+    result = LikelihoodResult(log_likelihoods={"a": 0.0, "b": -1.0}, num_links_scored=1)
+    with pytest.raises(ValueError):
+        result.relative_improvement_over("a")
+
+
+def test_figure15_sweep_structure():
+    history = _toy_history()
+    sweep = figure15_sweep(
+        history,
+        alphas=(0.0, 1.0),
+        papa_betas=(0.0, 2.0),
+        lapa_betas=(0.0, 100.0),
+        max_links=None,
+        rng=1,
+    )
+    assert set(sweep) == {"papa", "lapa", "pa_over_uniform", "num_links_scored"}
+    assert (1.0, 100.0) in sweep["lapa"]
+    assert (0.0, 2.0) in sweep["papa"]
+    assert sweep["num_links_scored"] == 3
+    # The PA reference improvement over itself is zero by definition.
+    assert sweep["lapa"][(1.0, 0.0)] == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,125 @@
+"""Tests for the synthetic Google+ ground-truth simulator."""
+
+import pytest
+
+from repro.graph import SAN
+from repro.metrics import (
+    PhaseBoundaries,
+    attribute_declaration_fraction,
+    global_reciprocity,
+)
+from repro.synthetic import GooglePlusConfig, simulate_google_plus
+
+
+def test_evolution_basic_counts(tiny_evolution):
+    final = tiny_evolution.final_san()
+    assert final.number_of_social_nodes() == pytest.approx(400, rel=0.1)
+    assert final.number_of_social_edges() > final.number_of_social_nodes()
+    assert final.number_of_attribute_edges() > 0
+    assert tiny_evolution.num_days == 40
+    assert len(tiny_evolution.join_day) == final.number_of_social_nodes()
+
+
+def test_events_are_day_ordered(tiny_evolution):
+    days = [timed.day for timed in tiny_evolution.events]
+    assert days == sorted(days)
+    assert days[0] >= 1 and days[-1] <= tiny_evolution.num_days
+
+
+def test_san_at_is_monotone(tiny_evolution):
+    early = tiny_evolution.san_at(10)
+    late = tiny_evolution.san_at(30)
+    assert early.number_of_social_nodes() < late.number_of_social_nodes()
+    assert early.number_of_social_edges() < late.number_of_social_edges()
+    # Every early edge persists.
+    for source, target in early.social_edges():
+        assert late.has_social_edge(source, target)
+
+
+def test_snapshots_match_san_at(tiny_evolution):
+    snapshots = tiny_evolution.snapshots([10, 30])
+    assert [day for day, _ in snapshots] == [10, 30]
+    for day, san in snapshots:
+        direct = tiny_evolution.san_at(day)
+        assert san.number_of_social_edges() == direct.number_of_social_edges()
+        assert san.number_of_attribute_edges() == direct.number_of_attribute_edges()
+
+
+def test_join_days_respect_arrival_schedule(tiny_evolution):
+    for user, day in tiny_evolution.join_day.items():
+        assert 1 <= day <= tiny_evolution.num_days
+    final = tiny_evolution.final_san()
+    users_by_day20 = tiny_evolution.users_joining_by(20)
+    assert 0 < len(users_by_day20) < final.number_of_social_nodes()
+
+
+def test_declaration_fraction_matches_config(tiny_evolution):
+    final = tiny_evolution.final_san()
+    fraction = attribute_declaration_fraction(final)
+    assert fraction == pytest.approx(0.22, abs=0.08)
+
+
+def test_profiles_only_for_declaring_users(tiny_evolution):
+    final = tiny_evolution.final_san()
+    for user, profile in tiny_evolution.profiles.items():
+        if profile:
+            assert final.attribute_degree(user) == len(profile)
+        else:
+            assert final.attribute_degree(user) == 0
+
+
+def test_reciprocity_in_plausible_range(tiny_evolution):
+    reciprocity = global_reciprocity(tiny_evolution.final_san())
+    assert 0.3 < reciprocity < 0.85
+
+
+def test_arrival_history_between_days(tiny_evolution):
+    history = tiny_evolution.arrival_history(start_day=21, end_day=40)
+    assert history.initial.number_of_social_nodes() == tiny_evolution.san_at(20).number_of_social_nodes()
+    final = history.final_san()
+    expected = tiny_evolution.san_at(40)
+    assert final.number_of_social_edges() == expected.number_of_social_edges()
+
+
+def test_new_social_links_between(tiny_evolution):
+    links = tiny_evolution.new_social_links_between(20, 40)
+    early = tiny_evolution.san_at(20)
+    late = tiny_evolution.san_at(40)
+    assert len(links) == late.number_of_social_edges() - early.number_of_social_edges()
+    for source, target in links[:50]:
+        assert not early.has_social_edge(source, target)
+        assert late.has_social_edge(source, target)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        GooglePlusConfig(triadic_probability=0.9, focal_probability=0.3)
+    with pytest.raises(ValueError):
+        GooglePlusConfig(declare_probability=1.5)
+
+
+def test_simulation_deterministic_given_seed():
+    config = GooglePlusConfig(
+        total_users=120, num_days=20, phases=PhaseBoundaries(5, 15)
+    )
+    first = simulate_google_plus(config, rng=42)
+    second = simulate_google_plus(config, rng=42)
+    assert len(first.events) == len(second.events)
+    assert first.final_san().number_of_social_edges() == second.final_san().number_of_social_edges()
+
+
+def test_three_phase_growth_visible(tiny_evolution):
+    """Node growth accelerates again in phase III (public release)."""
+    phases = tiny_evolution.phases
+    nodes_phase2_end = tiny_evolution.san_at(phases.phase_two_end).number_of_social_nodes()
+    nodes_mid_phase2 = tiny_evolution.san_at(
+        (phases.phase_one_end + phases.phase_two_end) // 2
+    ).number_of_social_nodes()
+    nodes_final = tiny_evolution.final_san().number_of_social_nodes()
+    phase2_rate = (nodes_phase2_end - nodes_mid_phase2) / max(
+        phases.phase_two_end - (phases.phase_one_end + phases.phase_two_end) // 2, 1
+    )
+    phase3_rate = (nodes_final - nodes_phase2_end) / max(
+        tiny_evolution.num_days - phases.phase_two_end, 1
+    )
+    assert phase3_rate > phase2_rate
