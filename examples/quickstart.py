@@ -58,8 +58,10 @@ def main() -> None:
     )
     workload = build_workload(config, rng=42, snapshot_count=8)
     series = crawl_evolution(workload.evolution, workload.snapshot_days)
-    final = series.last()
-    print(format_report(san_metric_report(final, rng=2), title="Final crawled snapshot"))
+    # Freeze the finished snapshot: same read API, but metrics now run on
+    # CSR numpy arrays instead of per-node dict walks (see docs/architecture.md).
+    final = series.last().freeze()
+    print(format_report(san_metric_report(final, rng=2), title="Final crawled snapshot (frozen backend)"))
     print()
 
     degrees = [d for d in social_out_degrees(final) if d >= 1]

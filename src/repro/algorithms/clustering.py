@@ -13,19 +13,48 @@ connected neighborhood has ``c(u) = 1``.
 The average social clustering coefficient ``C_s`` averages ``c(u)`` over
 social nodes and the average attribute clustering coefficient ``C_a`` over
 attribute nodes (Sections 3.4 and 4.1).
+
+On a frozen backend (:class:`~repro.graph.frozen.FrozenSAN`) the inner
+``L(u)`` count is vectorized: the successor lists of all of ``u``'s neighbors
+are gathered from the CSR arrays in one shot and membership in the (sorted)
+neighborhood is resolved with a single batched binary search, instead of one
+Python set probe per candidate link.  Whole-graph averages go further when
+scipy is installed: with neighborhood incidence ``A`` (undirected projection
+or attribute membership) and loop-free directed adjacency ``D``, the per-node
+link counts are ``L = ((A @ D) ⊙ A) · 1`` — three sparse operations for the
+entire graph.  Without scipy the batched per-node kernel is used instead.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple, Union
 
+import numpy as np
+
+try:  # scipy is optional: the frozen kernels fall back to batched numpy
+    from scipy import sparse as _sparse
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _sparse = None
+
+from ..graph.frozen import FrozenSAN, gather_rows, sorted_membership
 from ..graph.san import SAN
 
 Node = Hashable
+SANLike = Union[SAN, FrozenSAN]
 
 
-def directed_links_among(san: SAN, nodes: Iterable[Node]) -> int:
+def directed_links_among(san: SANLike, nodes: Iterable[Node]) -> int:
     """Count directed social links between members of ``nodes`` (``L(u)``)."""
+    if isinstance(san, FrozenSAN):
+        member_ids = np.array(
+            sorted(
+                san.social.index_of(node)
+                for node in nodes
+                if san.social.has_node(node)
+            ),
+            dtype=np.int64,
+        )
+        return _links_among_frozen(san, member_ids)
     members = [node for node in nodes if san.social.has_node(node)]
     member_set = set(members)
     count = 0
@@ -42,8 +71,108 @@ def directed_links_among(san: SAN, nodes: Iterable[Node]) -> int:
     return count
 
 
-def node_clustering_coefficient(san: SAN, node: Node) -> float:
+def _links_among_frozen(san: FrozenSAN, member_ids: np.ndarray) -> int:
+    """``L(u)`` on the frozen backend: ``member_ids`` must be sorted compact ids."""
+    if member_ids.size < 2:
+        return 0
+    indptr, indices = san.social.out_csr()
+    successors, counts = gather_rows(indptr, indices, member_ids)
+    if successors.size == 0:
+        return 0
+    sources = np.repeat(member_ids, counts)
+    hits = sorted_membership(member_ids, successors)
+    hits &= successors != sources  # a self-loop is not a link *among* members
+    return int(np.count_nonzero(hits))
+
+
+def _neighborhood_ids(san: FrozenSAN, node: Node) -> np.ndarray:
+    """Sorted compact social ids of ``Gamma_s(node)`` on the frozen backend."""
+    if san.social.has_node(node):
+        return san.social.undirected_row(san.social.index_of(node))
+    return san.attributes.member_indices_of(node)  # raises NodeNotFoundError
+
+
+def _loop_free_directed_matrix(san: FrozenSAN):
+    """Directed social adjacency as a scipy CSR matrix, self-loops dropped.
+
+    Memoized on the (immutable) frozen SAN, like the clustering arrays below,
+    so a multi-metric report builds each sparse product at most once.
+    """
+    return san.derived("loop_free_directed_matrix", _build_loop_free_directed_matrix)
+
+
+def _build_loop_free_directed_matrix(san: FrozenSAN):
+    n = san.social.number_of_nodes()
+    sources, targets = san.social.edge_arrays()
+    proper = sources != targets
+    return _sparse.csr_matrix(
+        (
+            np.ones(int(np.count_nonzero(proper)), dtype=np.int64),
+            (sources[proper], targets[proper]),
+        ),
+        shape=(n, n),
+    )
+
+
+def _links_per_row(neighborhood_matrix, directed_matrix) -> np.ndarray:
+    """``L`` for every row of a neighborhood incidence matrix.
+
+    ``L[u] = sum_{v, w in row u} D[v, w]`` — links among row ``u``'s
+    neighborhood — computed as ``((A @ D) ⊙ A) · 1`` in sparse arithmetic.
+    """
+    paths = neighborhood_matrix @ directed_matrix
+    closed = paths.multiply(neighborhood_matrix)
+    return np.asarray(closed.sum(axis=1)).ravel()
+
+
+def _social_clustering_array(san: FrozenSAN) -> np.ndarray:
+    """``c(u)`` for every social node (compact-id order), memoized."""
+    return san.derived("social_clustering_array", _build_social_clustering_array)
+
+
+def _build_social_clustering_array(san: FrozenSAN) -> np.ndarray:
+    indptr, indices = san.social.undirected_csr()
+    n = san.social.number_of_nodes()
+    neighborhood = _sparse.csr_matrix(
+        (np.ones(indices.size, dtype=np.int64), indices, indptr), shape=(n, n)
+    )
+    links = _links_per_row(neighborhood, _loop_free_directed_matrix(san))
+    degrees = san.social.undirected_degree_array()
+    pairs = degrees * (degrees - 1)
+    return np.divide(
+        links, pairs, out=np.zeros(n, dtype=np.float64), where=pairs > 0
+    )
+
+
+def _attribute_clustering_array(san: FrozenSAN) -> np.ndarray:
+    """``c(a)`` for every attribute node (compact-id order), memoized."""
+    return san.derived("attribute_clustering_array", _build_attribute_clustering_array)
+
+
+def _build_attribute_clustering_array(san: FrozenSAN) -> np.ndarray:
+    indptr, indices = san.attributes.attr_to_social_csr()
+    num_attrs = san.attributes.number_of_attribute_nodes()
+    n = san.social.number_of_nodes()
+    membership = _sparse.csr_matrix(
+        (np.ones(indices.size, dtype=np.int64), indices, indptr),
+        shape=(num_attrs, n),
+    )
+    links = _links_per_row(membership, _loop_free_directed_matrix(san))
+    degrees = san.attributes.social_degree_array()
+    pairs = degrees * (degrees - 1)
+    return np.divide(
+        links, pairs, out=np.zeros(num_attrs, dtype=np.float64), where=pairs > 0
+    )
+
+
+def node_clustering_coefficient(san: SANLike, node: Node) -> float:
     """The paper's ``c(u)`` for a social or attribute node."""
+    if isinstance(san, FrozenSAN):
+        neighborhood = _neighborhood_ids(san, node)
+        k = int(neighborhood.size)
+        if k < 2:
+            return 0.0
+        return _links_among_frozen(san, neighborhood) / (k * (k - 1))
     neighbors = san.social_neighbors(node)
     k = len(neighbors)
     if k < 2:
@@ -52,16 +181,22 @@ def node_clustering_coefficient(san: SAN, node: Node) -> float:
     return links / (k * (k - 1))
 
 
-def average_social_clustering_coefficient(san: SAN) -> float:
+def average_social_clustering_coefficient(san: SANLike) -> float:
     """Exact ``C_s``: mean clustering coefficient over all social nodes."""
+    if isinstance(san, FrozenSAN) and _sparse is not None:
+        coefficients = _social_clustering_array(san)
+        return float(coefficients.mean()) if coefficients.size else 0.0
     nodes = list(san.social_nodes())
     if not nodes:
         return 0.0
     return sum(node_clustering_coefficient(san, node) for node in nodes) / len(nodes)
 
 
-def average_attribute_clustering_coefficient(san: SAN) -> float:
+def average_attribute_clustering_coefficient(san: SANLike) -> float:
     """Exact ``C_a``: mean clustering coefficient over all attribute nodes."""
+    if isinstance(san, FrozenSAN) and _sparse is not None:
+        coefficients = _attribute_clustering_array(san)
+        return float(coefficients.mean()) if coefficients.size else 0.0
     nodes = list(san.attribute_nodes())
     if not nodes:
         return 0.0
@@ -69,7 +204,7 @@ def average_attribute_clustering_coefficient(san: SAN) -> float:
 
 
 def clustering_by_degree(
-    san: SAN, kind: str = "social"
+    san: SANLike, kind: str = "social"
 ) -> List[Tuple[int, float]]:
     """Average clustering coefficient as a function of node degree (Figure 9a).
 
@@ -77,14 +212,34 @@ def clustering_by_degree(
     distinct social neighbors); ``kind="attribute"`` groups attribute nodes by
     their social degree (number of members).
     """
+    if kind not in ("social", "attribute"):
+        raise ValueError(f"kind must be 'social' or 'attribute', got {kind!r}")
+
+    if isinstance(san, FrozenSAN) and _sparse is not None:
+        if kind == "social":
+            degrees = san.social.undirected_degree_array()
+            coefficients = _social_clustering_array(san)
+        else:
+            degrees = san.attributes.social_degree_array()
+            coefficients = _attribute_clustering_array(san)
+        mask = degrees >= 2
+        if not np.any(mask):
+            return []
+        grouped_sums = np.bincount(degrees[mask], weights=coefficients[mask])
+        grouped_counts = np.bincount(degrees[mask])
+        present = np.nonzero(grouped_counts)[0]
+        return [(int(k), float(grouped_sums[k] / grouped_counts[k])) for k in present]
+
     if kind == "social":
         nodes = list(san.social_nodes())
-        degree_of = lambda node: len(san.social.neighbors(node))
-    elif kind == "attribute":
+        if isinstance(san, FrozenSAN):
+            degree_array = san.social.undirected_degree_array()
+            degree_of = lambda node: int(degree_array[san.social.index_of(node)])
+        else:
+            degree_of = lambda node: len(san.social.neighbors(node))
+    else:
         nodes = list(san.attribute_nodes())
         degree_of = lambda node: san.attribute_social_degree(node)
-    else:
-        raise ValueError(f"kind must be 'social' or 'attribute', got {kind!r}")
 
     sums: Dict[int, float] = {}
     counts: Dict[int, int] = {}
@@ -100,12 +255,64 @@ def clustering_by_degree(
     )
 
 
-def average_clustering_for_attribute_type(san: SAN, attr_type: str) -> float:
+def average_clustering_by_attribute_type(san: SANLike) -> Dict[str, float]:
+    """Average attribute clustering coefficient for every attribute type.
+
+    Equivalent to calling :func:`average_clustering_for_attribute_type` per
+    type (keys sorted), but on the frozen scipy path the whole-graph ``c(a)``
+    array is computed once and grouped by the interned type codes, instead of
+    once per type.
+    """
+    if isinstance(san, FrozenSAN) and _sparse is not None:
+        coefficients = _attribute_clustering_array(san)
+        codes = san.attributes.type_codes()
+        type_names = san.attributes.type_names()  # already sorted
+        sums = np.bincount(codes, weights=coefficients, minlength=len(type_names))
+        counts = np.bincount(codes, minlength=len(type_names))
+        return {
+            name: float(sums[code] / counts[code]) if counts[code] else 0.0
+            for code, name in enumerate(type_names)
+        }
+    return {
+        attr_type: average_clustering_for_attribute_type(san, attr_type)
+        for attr_type in sorted(san.attributes.attribute_types())
+    }
+
+
+def average_clustering_for_attribute_type(san: SANLike, attr_type: str) -> float:
     """Average attribute clustering coefficient restricted to one attribute type.
 
     This is the quantity behind Figure 13b (Employer vs School vs Major vs
     City community-forming power).
     """
+    if isinstance(san, FrozenSAN) and _sparse is not None:
+        type_names = san.attributes.type_names()
+        if attr_type not in type_names:
+            return 0.0
+        selected = np.nonzero(
+            san.attributes.type_codes() == type_names.index(attr_type)
+        )[0]
+        if selected.size == 0:
+            return 0.0
+        # Restrict the membership matrix to this type's rows so one type's
+        # average costs O(type size), not a whole-graph sparse product; the
+        # all-types path (average_clustering_by_attribute_type) computes and
+        # memoizes the full array in one pass instead.
+        indptr, indices = san.attributes.attr_to_social_csr()
+        members, counts = gather_rows(indptr, indices, selected)
+        sub_indptr = np.zeros(selected.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=sub_indptr[1:])
+        membership = _sparse.csr_matrix(
+            (np.ones(members.size, dtype=np.int64), members, sub_indptr),
+            shape=(selected.size, san.social.number_of_nodes()),
+        )
+        links = _links_per_row(membership, _loop_free_directed_matrix(san))
+        degrees = san.attributes.social_degree_array()[selected]
+        pairs = degrees * (degrees - 1)
+        coefficients = np.divide(
+            links, pairs, out=np.zeros(selected.size, dtype=np.float64), where=pairs > 0
+        )
+        return float(coefficients.mean())
     nodes = list(san.attributes.attribute_nodes_of_type(attr_type))
     if not nodes:
         return 0.0

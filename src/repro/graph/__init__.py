@@ -1,4 +1,5 @@
-"""Graph substrate: directed social graph, bipartite attribute layer, SAN."""
+"""Graph substrate: social DiGraph, bipartite attribute layer, SAN — each in
+mutable (dict-of-sets) and frozen (read-only CSR numpy) backends."""
 
 from .bipartite import AttributeInfo, BipartiteAttributeGraph
 from .builders import (
@@ -13,11 +14,14 @@ from .digraph import DiGraph
 from .errors import (
     DuplicateNodeError,
     EdgeNotFoundError,
+    FrozenGraphError,
     GraphError,
     InvalidNodeKindError,
     NodeNotFoundError,
     SerializationError,
 )
+from .frozen import FrozenBipartiteAttributeGraph, FrozenDiGraph, FrozenSAN
+from .protocol import DiGraphView, SANView
 from .san import SAN
 from .serialization import load_san_json, load_san_tsv, save_san_json, save_san_tsv
 
@@ -26,6 +30,11 @@ __all__ = [
     "BipartiteAttributeGraph",
     "DiGraph",
     "SAN",
+    "FrozenBipartiteAttributeGraph",
+    "FrozenDiGraph",
+    "FrozenSAN",
+    "DiGraphView",
+    "SANView",
     "attribute_node_id",
     "complete_seed_san",
     "merge_sans",
@@ -42,4 +51,5 @@ __all__ = [
     "DuplicateNodeError",
     "InvalidNodeKindError",
     "SerializationError",
+    "FrozenGraphError",
 ]

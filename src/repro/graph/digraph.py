@@ -5,6 +5,15 @@ that the metrics used throughout the paper (reciprocity, in/out degree,
 knn, triangle closure) are all O(1) or O(degree) operations.  Nodes may be any
 hashable object; the library conventionally uses integers for social nodes.
 
+``DiGraph`` is the *mutable* backend, optimised for incremental construction
+(simulators, crawlers, generative models).  Once a graph stops changing, call
+:meth:`DiGraph.freeze` to obtain a :class:`repro.graph.frozen.FrozenDiGraph`
+— a read-only, CSR-array-backed snapshot of the same graph on which the
+metrics layer runs vectorized numpy kernels.  Both backends satisfy the
+read-only :class:`repro.graph.protocol.DiGraphView` protocol, so any code
+written against that surface accepts either; ``FrozenDiGraph.thaw()``
+converts back when mutation is needed again.
+
 Only the features required by the reproduction are implemented — this is a
 purpose-built substrate, not a general graph library.
 """
@@ -26,7 +35,9 @@ class DiGraph:
     --------
     >>> g = DiGraph()
     >>> g.add_edge(1, 2)
+    True
     >>> g.add_edge(2, 1)
+    True
     >>> g.has_edge(1, 2), g.is_reciprocal(1, 2)
     (True, True)
     >>> g.out_degree(1), g.in_degree(1)
@@ -203,6 +214,32 @@ class DiGraph:
         rev._pred = {node: set(targets) for node, targets in self._succ.items()}
         rev._num_edges = self._num_edges
         return rev
+
+    def freeze(self) -> "FrozenDiGraph":
+        """Compact this graph into a read-only, CSR-backed snapshot.
+
+        The returned :class:`repro.graph.frozen.FrozenDiGraph` preserves node
+        insertion order, answers the whole read-only
+        :class:`repro.graph.protocol.DiGraphView` surface, and additionally
+        exposes numpy adjacency arrays that the metrics layer uses for
+        vectorized kernels.  Subsequent mutation of ``self`` does not affect
+        the snapshot.
+
+        Examples
+        --------
+        >>> g = DiGraph([(1, 2), (2, 1)])
+        >>> frozen = g.freeze()
+        >>> frozen.is_reciprocal(1, 2)
+        True
+        >>> frozen.add_edge(2, 3)
+        Traceback (most recent call last):
+            ...
+        repro.graph.errors.FrozenGraphError: FrozenDiGraph is immutable: \
+add_edge() is not supported; call thaw() to obtain a mutable copy first
+        """
+        from .frozen import FrozenDiGraph
+
+        return FrozenDiGraph.from_digraph(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

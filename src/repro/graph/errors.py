@@ -47,3 +47,15 @@ class InvalidNodeKindError(GraphError, TypeError):
 
 class SerializationError(GraphError, ValueError):
     """A SAN file could not be parsed or written."""
+
+
+class FrozenGraphError(GraphError, TypeError):
+    """A mutating operation was attempted on a frozen (read-only) graph."""
+
+    def __init__(self, operation: str, type_name: str) -> None:
+        super().__init__(
+            f"{type_name} is immutable: {operation}() is not supported; "
+            f"call thaw() to obtain a mutable copy first"
+        )
+        self.operation = operation
+        self.type_name = type_name

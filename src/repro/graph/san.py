@@ -17,6 +17,15 @@ layer) and exposes the neighborhood notation used throughout the paper:
 * ``social_in_neighbors(u)``   — :math:`\\Gamma_{s,in}(u)`
 * ``social_neighbors(u)``      — :math:`\\Gamma_s(u)` (union over both link sets)
 * ``attribute_neighbors(u)``   — :math:`\\Gamma_a(u)`
+
+``SAN`` is the *mutable* backend the simulators, crawlers and generative
+models build incrementally.  For measurement, :meth:`SAN.freeze` compacts the
+network into a read-only :class:`repro.graph.frozen.FrozenSAN` whose
+adjacency lives in CSR numpy arrays; the hot-path metrics (degrees,
+reciprocity, joint degree, clustering, attribute metrics) detect the frozen
+backend and switch to vectorized kernels.  Both backends satisfy the
+read-only :class:`repro.graph.protocol.SANView` protocol, and
+``FrozenSAN.thaw()`` converts back to a mutable ``SAN``.
 """
 
 from __future__ import annotations
@@ -239,6 +248,31 @@ class SAN:
         clone.social = self.social.copy()
         clone.attributes = self.attributes.copy()
         return clone
+
+    def freeze(self) -> "FrozenSAN":
+        """Compact this SAN into a read-only, CSR-backed snapshot.
+
+        The returned :class:`repro.graph.frozen.FrozenSAN` shares one compact
+        social-id space across the social and attribute layers, answers the
+        whole read-only :class:`repro.graph.protocol.SANView` surface, and is
+        the backend on which the metrics layer runs its vectorized numpy
+        kernels.  Subsequent mutation of ``self`` does not affect the
+        snapshot; use ``thaw()`` on the result to get a mutable copy back.
+
+        Examples
+        --------
+        >>> san = SAN()
+        >>> san.add_social_edge(1, 2)
+        True
+        >>> frozen = san.freeze()
+        >>> frozen.has_social_edge(1, 2)
+        True
+        >>> frozen.thaw().summary() == san.summary()
+        True
+        """
+        from .frozen import FrozenSAN
+
+        return FrozenSAN.from_san(self)
 
     def summary(self) -> Dict[str, float]:
         """Compact size summary used by the evolution drivers and reports."""

@@ -6,23 +6,35 @@ Two formats are supported:
   directed link plus an attribute file with ``social<TAB>attr_type<TAB>value``
   lines.  This mirrors the format of publicly released Google+ crawls.
 * **JSON**: one self-contained document, convenient for small fixtures.
+
+Both the mutable :class:`~repro.graph.san.SAN` and the frozen
+:class:`~repro.graph.frozen.FrozenSAN` backend can be saved (the writers only
+touch the shared read-only surface), and both loaders accept ``frozen=True``
+to return the loaded network already compacted to CSR form — so a frozen SAN
+round-trips through disk without an intermediate manual ``freeze()`` call.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Union
+from typing import TYPE_CHECKING, Union
 
 from .builders import attribute_node_id
 from .errors import SerializationError
 from .san import SAN
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .frozen import FrozenSAN
+
 PathLike = Union[str, Path]
+SANLike = Union[SAN, "FrozenSAN"]
 
 
-def save_san_tsv(san: SAN, social_path: PathLike, attribute_path: PathLike) -> None:
-    """Write ``san`` to a pair of TSV files (social edges + attribute records)."""
+def save_san_tsv(
+    san: SANLike, social_path: PathLike, attribute_path: PathLike
+) -> None:
+    """Write ``san`` (mutable or frozen) to a pair of TSV files."""
     social_path = Path(social_path)
     attribute_path = Path(attribute_path)
     with social_path.open("w", encoding="utf-8") as handle:
@@ -34,11 +46,15 @@ def save_san_tsv(san: SAN, social_path: PathLike, attribute_path: PathLike) -> N
             handle.write(f"{social}\t{info.attr_type}\t{info.value}\n")
 
 
-def load_san_tsv(social_path: PathLike, attribute_path: PathLike) -> SAN:
+def load_san_tsv(
+    social_path: PathLike, attribute_path: PathLike, frozen: bool = False
+) -> SANLike:
     """Load a SAN from the TSV pair written by :func:`save_san_tsv`.
 
     Social node ids are parsed back to integers when possible so a round trip
-    through disk preserves the library's integer-id convention.
+    through disk preserves the library's integer-id convention.  With
+    ``frozen=True`` the result is returned as a read-only CSR-backed
+    :class:`~repro.graph.frozen.FrozenSAN`.
     """
     san = SAN()
     social_path = Path(social_path)
@@ -71,11 +87,11 @@ def load_san_tsv(social_path: PathLike, attribute_path: PathLike) -> SAN:
                 attr_type=attr_type,
                 value=value,
             )
-    return san
+    return san.freeze() if frozen else san
 
 
-def save_san_json(san: SAN, path: PathLike) -> None:
-    """Write ``san`` to a single JSON document."""
+def save_san_json(san: SANLike, path: PathLike) -> None:
+    """Write ``san`` (mutable or frozen) to a single JSON document."""
     document = {
         "social_nodes": [_node_to_json(node) for node in san.social_nodes()],
         "social_edges": [
@@ -95,8 +111,12 @@ def save_san_json(san: SAN, path: PathLike) -> None:
     Path(path).write_text(json.dumps(document, indent=2), encoding="utf-8")
 
 
-def load_san_json(path: PathLike) -> SAN:
-    """Load a SAN from the JSON document written by :func:`save_san_json`."""
+def load_san_json(path: PathLike, frozen: bool = False) -> SANLike:
+    """Load a SAN from the JSON document written by :func:`save_san_json`.
+
+    With ``frozen=True`` the result is returned as a read-only CSR-backed
+    :class:`~repro.graph.frozen.FrozenSAN`.
+    """
     try:
         document = json.loads(Path(path).read_text(encoding="utf-8"))
     except json.JSONDecodeError as exc:
@@ -113,7 +133,7 @@ def load_san_json(path: PathLike) -> SAN:
             attr_type=record.get("type", "generic"),
             value=record.get("value"),
         )
-    return san
+    return san.freeze() if frozen else san
 
 
 def _parse_node(token: str):

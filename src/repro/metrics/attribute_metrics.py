@@ -3,45 +3,65 @@
 These extend the social metrics to attribute nodes: attribute density,
 attribute clustering coefficient, attribute degree distributions, plus helpers
 used by the Figure 9 and Figure 13b analyses.
+
+Every function accepts either SAN backend.  On a frozen backend
+(:class:`~repro.graph.frozen.FrozenSAN`) the per-type aggregations run as
+``np.bincount`` over the interned attribute-type codes and the top-k ranking
+as a stable ``argsort`` over the CSR degree array; the clustering-based
+functions inherit the vectorized ``L(u)`` kernel of
+:mod:`repro.algorithms.clustering`.
+
+Examples
+--------
+>>> from repro.graph import san_from_edge_lists
+>>> san = san_from_edge_lists(
+...     [(1, 2)], [(1, "employer", "Google"), (2, "employer", "Google"),
+...                (2, "city", "SF")]
+... )
+>>> attribute_type_counts(san)
+{'employer': 1, 'city': 1}
+>>> attribute_type_counts(san.freeze()) == attribute_type_counts(san)
+True
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple, Union
+
+import numpy as np
 
 from ..algorithms.approx_clustering import approximate_average_clustering
 from ..algorithms.clustering import (
     average_attribute_clustering_coefficient,
-    average_clustering_for_attribute_type,
+    average_clustering_by_attribute_type,
     clustering_by_degree,
     node_clustering_coefficient,
 )
+from ..graph.frozen import FrozenSAN
 from ..graph.san import SAN
 from ..utils.rng import RngLike
 
 Node = Hashable
+SANLike = Union[SAN, FrozenSAN]
 
 
-def attribute_clustering_by_type(san: SAN) -> Dict[str, float]:
+def attribute_clustering_by_type(san: SANLike) -> Dict[str, float]:
     """Average attribute clustering coefficient per attribute type (Figure 13b)."""
-    return {
-        attr_type: average_clustering_for_attribute_type(san, attr_type)
-        for attr_type in sorted(san.attributes.attribute_types())
-    }
+    return average_clustering_by_attribute_type(san)
 
 
-def attribute_clustering_distribution(san: SAN) -> List[Tuple[int, float]]:
+def attribute_clustering_distribution(san: SANLike) -> List[Tuple[int, float]]:
     """Average attribute clustering coefficient vs attribute-node social degree."""
     return clustering_by_degree(san, kind="attribute")
 
 
-def social_clustering_distribution(san: SAN) -> List[Tuple[int, float]]:
+def social_clustering_distribution(san: SANLike) -> List[Tuple[int, float]]:
     """Average social clustering coefficient vs social-node degree (Figure 9a)."""
     return clustering_by_degree(san, kind="social")
 
 
 def approximate_attribute_clustering_coefficient(
-    san: SAN,
+    san: SANLike,
     epsilon: float = 0.002,
     nu: float = 100.0,
     num_samples: Optional[int] = None,
@@ -58,15 +78,32 @@ def approximate_attribute_clustering_coefficient(
     )
 
 
-def exact_attribute_clustering_coefficient(san: SAN) -> float:
+def exact_attribute_clustering_coefficient(san: SANLike) -> float:
     """Exact average attribute clustering coefficient (small SANs / tests)."""
     return average_attribute_clustering_coefficient(san)
 
 
 def top_attribute_nodes(
-    san: SAN, attr_type: Optional[str] = None, count: int = 10
+    san: SANLike, attr_type: Optional[str] = None, count: int = 10
 ) -> List[Tuple[Node, int]]:
-    """Attribute nodes with the most members, optionally restricted to one type."""
+    """Attribute nodes with the most members, optionally restricted to one type.
+
+    Ties are broken by attribute-node insertion order on both backends.
+    """
+    if isinstance(san, FrozenSAN):
+        degrees = san.attributes.social_degree_array()
+        labels = san.attributes.attribute_labels()
+        if attr_type is None:
+            candidate_ids = np.arange(degrees.size, dtype=np.int64)
+        else:
+            type_names = san.attributes.type_names()
+            if attr_type not in type_names:
+                return []
+            code = type_names.index(attr_type)
+            candidate_ids = np.nonzero(san.attributes.type_codes() == code)[0]
+        order = np.argsort(-degrees[candidate_ids], kind="stable")
+        ranked_ids = candidate_ids[order[:count]]
+        return [(labels[i], int(degrees[i])) for i in ranked_ids]
     if attr_type is None:
         candidates = list(san.attribute_nodes())
     else:
@@ -79,8 +116,14 @@ def top_attribute_nodes(
     return ranked[:count]
 
 
-def attribute_type_counts(san: SAN) -> Dict[str, int]:
+def attribute_type_counts(san: SANLike) -> Dict[str, int]:
     """Number of distinct attribute nodes per attribute type."""
+    if isinstance(san, FrozenSAN):
+        type_names = san.attributes.type_names()
+        counts = np.bincount(
+            san.attributes.type_codes(), minlength=len(type_names)
+        )
+        return _per_type_dict(san, type_names, counts)
     counts: Dict[str, int] = {}
     for node in san.attribute_nodes():
         attr_type = san.attribute_type(node)
@@ -88,8 +131,16 @@ def attribute_type_counts(san: SAN) -> Dict[str, int]:
     return counts
 
 
-def attribute_link_counts_by_type(san: SAN) -> Dict[str, int]:
+def attribute_link_counts_by_type(san: SANLike) -> Dict[str, int]:
     """Number of attribute links per attribute type."""
+    if isinstance(san, FrozenSAN):
+        type_names = san.attributes.type_names()
+        link_counts = np.bincount(
+            san.attributes.type_codes(),
+            weights=san.attributes.social_degree_array(),
+            minlength=len(type_names),
+        )
+        return _per_type_dict(san, type_names, link_counts, skip_zero=True)
     counts: Dict[str, int] = {}
     for _, attribute in san.attribute_edges():
         attr_type = san.attribute_type(attribute)
@@ -97,6 +148,27 @@ def attribute_link_counts_by_type(san: SAN) -> Dict[str, int]:
     return counts
 
 
-def attribute_node_clustering(san: SAN, attribute: Node) -> float:
+def _per_type_dict(
+    san: FrozenSAN,
+    type_names: List[str],
+    values: np.ndarray,
+    skip_zero: bool = False,
+) -> Dict[str, int]:
+    """Assemble a per-type dict in first-seen attribute-node order.
+
+    Dict *contents* match the mutable backend exactly (``==`` holds); key
+    order may differ for the link counts, whose mutable accumulation order
+    follows per-user set iteration rather than attribute-node insertion.
+    """
+    codes = san.attributes.type_codes()
+    present, first_seen = np.unique(codes, return_index=True)
+    result: Dict[str, int] = {}
+    for code in present[np.argsort(first_seen)]:
+        if not skip_zero or values[code] > 0:
+            result[type_names[code]] = int(values[code])
+    return result
+
+
+def attribute_node_clustering(san: SANLike, attribute: Node) -> float:
     """Clustering coefficient of a single attribute node."""
     return node_clustering_coefficient(san, attribute)

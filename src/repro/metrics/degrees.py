@@ -7,40 +7,66 @@ Four degree notions appear in the paper:
   (Figure 10a, lognormal),
 * social degree of attribute nodes — how many users hold an attribute
   (Figure 10b, power-law).
+
+Every public function accepts either backend of the SAN: the mutable
+:class:`~repro.graph.san.SAN` (per-node dict/set code) or the frozen
+:class:`~repro.graph.frozen.FrozenSAN`, for which the degree sequences are
+read straight off the CSR ``indptr`` arrays in one vectorized operation.
+
+Examples
+--------
+>>> from repro.graph import san_from_edge_lists
+>>> san = san_from_edge_lists([(1, 2), (2, 1), (1, 3)])
+>>> social_out_degrees(san)
+[2, 1, 0]
+>>> social_out_degrees(san.freeze())
+[2, 1, 0]
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Tuple
+from typing import Dict, Hashable, List, Tuple, Union
 
+from ..graph.frozen import FrozenSAN
 from ..graph.san import SAN
 from ..utils.stats import empirical_pmf, log_binned_histogram
 
 Node = Hashable
+SANLike = Union[SAN, FrozenSAN]
 
 
-def social_out_degrees(san: SAN) -> List[int]:
-    """Out-degree of every social node."""
+def social_out_degrees(san: SANLike) -> List[int]:
+    """Out-degree of every social node (in social-node iteration order)."""
+    if isinstance(san, FrozenSAN):
+        return san.social.out_degree_array().tolist()
     return [san.social_out_degree(node) for node in san.social_nodes()]
 
 
-def social_in_degrees(san: SAN) -> List[int]:
-    """In-degree of every social node."""
+def social_in_degrees(san: SANLike) -> List[int]:
+    """In-degree of every social node (in social-node iteration order)."""
+    if isinstance(san, FrozenSAN):
+        return san.social.in_degree_array().tolist()
     return [san.social_in_degree(node) for node in san.social_nodes()]
 
 
-def social_total_degrees(san: SAN) -> List[int]:
+def social_total_degrees(san: SANLike) -> List[int]:
     """Number of distinct social neighbors of every social node."""
+    if isinstance(san, FrozenSAN):
+        return san.social.undirected_degree_array().tolist()
     return [len(san.social.neighbors(node)) for node in san.social_nodes()]
 
 
-def attribute_degrees_of_social_nodes(san: SAN) -> List[int]:
+def attribute_degrees_of_social_nodes(san: SANLike) -> List[int]:
     """Attribute degree (number of declared attributes) of every social node."""
+    if isinstance(san, FrozenSAN):
+        return san.attributes.attribute_degree_array().tolist()
     return [san.attribute_degree(node) for node in san.social_nodes()]
 
 
-def social_degrees_of_attribute_nodes(san: SAN) -> List[int]:
+def social_degrees_of_attribute_nodes(san: SANLike) -> List[int]:
     """Social degree (number of members) of every attribute node."""
+    if isinstance(san, FrozenSAN):
+        return san.attributes.social_degree_array().tolist()
     return [san.attribute_social_degree(node) for node in san.attribute_nodes()]
 
 
@@ -56,7 +82,7 @@ def log_binned_degree_distribution(
     return log_binned_histogram(degrees, bins_per_decade=bins_per_decade)
 
 
-def degree_summary(san: SAN) -> Dict[str, float]:
+def degree_summary(san: SANLike) -> Dict[str, float]:
     """Mean degrees of the four degree notions, for quick reports."""
     out_degrees = social_out_degrees(san)
     in_degrees = social_in_degrees(san)
@@ -76,13 +102,16 @@ def degree_summary(san: SAN) -> Dict[str, float]:
     }
 
 
-def out_degrees_for_attribute_value(san: SAN, attribute_node: Node) -> List[int]:
+def out_degrees_for_attribute_value(san: SANLike, attribute_node: Node) -> List[int]:
     """Social out-degrees of the users holding a specific attribute node.
 
     Figure 14 plots percentiles of these per Employer / Major value.
     """
     if not san.is_attribute_node(attribute_node):
         return []
+    if isinstance(san, FrozenSAN):
+        members = san.attributes.member_indices_of(attribute_node)
+        return san.social.out_degree_array()[members].tolist()
     return [
         san.social_out_degree(member)
         for member in san.attributes.members_of(attribute_node)

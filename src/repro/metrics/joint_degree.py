@@ -10,20 +10,44 @@ Section 4.1 extends the analysis to attribute nodes: for each social degree
 social members of attribute nodes with ``k`` members, and the attribute
 assortativity is the Pearson correlation of (social degree of the attribute
 node, attribute degree of the member) over attribute links.
+
+On a frozen backend (:class:`~repro.graph.frozen.FrozenSAN`) every function
+here is fully vectorized: per-node neighbor sums come from a cumulative-sum
+difference over the CSR ``indices`` array, per-degree averages from
+``np.bincount``, and the assortativity coefficients from degree arrays
+indexed by the CSR edge list.
+
+Examples
+--------
+>>> from repro.graph import san_from_edge_lists
+>>> san = san_from_edge_lists([(1, 2), (3, 2)])
+>>> social_knn(san)
+[(1, 2.0)]
+>>> social_knn(san.freeze())
+[(1, 2.0)]
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, List, Tuple
+from typing import Dict, Hashable, List, Tuple, Union
 
+import numpy as np
+
+from ..graph.frozen import FrozenSAN
 from ..graph.san import SAN
 
 Node = Hashable
+SANLike = Union[SAN, FrozenSAN]
 
 
-def social_knn(san: SAN) -> List[Tuple[int, float]]:
+def social_knn(san: SANLike) -> List[Tuple[int, float]]:
     """Average in-degree of out-neighbors as a function of out-degree (Figure 7a)."""
+    if isinstance(san, FrozenSAN):
+        indptr, indices = san.social.out_csr()
+        out_degrees = san.social.out_degree_array()
+        neighbor_in_degrees = san.social.in_degree_array()[indices]
+        return _knn_curve(indptr, out_degrees, neighbor_in_degrees)
     sums: Dict[int, float] = {}
     counts: Dict[int, int] = {}
     for node in san.social_nodes():
@@ -40,13 +64,19 @@ def social_knn(san: SAN) -> List[Tuple[int, float]]:
     return sorted((degree, sums[degree] / counts[degree]) for degree in sums)
 
 
-def social_assortativity(san: SAN) -> float:
+def social_assortativity(san: SANLike) -> float:
     """Degree assortativity over directed social links (Figure 7b).
 
     Computed as the Pearson correlation between the out-degree of the source
     and the in-degree of the target over all directed links — the directed
     analogue used for publisher/subscriber style networks.
     """
+    if isinstance(san, FrozenSAN):
+        sources, targets = san.social.edge_arrays()
+        return _pearson_arrays(
+            san.social.out_degree_array()[sources],
+            san.social.in_degree_array()[targets],
+        )
     xs: List[float] = []
     ys: List[float] = []
     for source, target in san.social_edges():
@@ -55,12 +85,18 @@ def social_assortativity(san: SAN) -> float:
     return _pearson(xs, ys)
 
 
-def undirected_degree_assortativity(san: SAN) -> float:
+def undirected_degree_assortativity(san: SANLike) -> float:
     """Assortativity of total (undirected) social degree across links.
 
     Provided as the classical Newman coefficient for comparison against the
     Flickr / LiveJournal / Orkut values the paper cites.
     """
+    if isinstance(san, FrozenSAN):
+        sources, targets = san.social.edge_arrays()
+        undirected_degrees = san.social.undirected_degree_array()
+        return _pearson_arrays(
+            undirected_degrees[sources], undirected_degrees[targets]
+        )
     xs: List[float] = []
     ys: List[float] = []
     for source, target in san.social_edges():
@@ -69,13 +105,18 @@ def undirected_degree_assortativity(san: SAN) -> float:
     return _pearson(xs, ys)
 
 
-def attribute_knn(san: SAN) -> List[Tuple[int, float]]:
+def attribute_knn(san: SANLike) -> List[Tuple[int, float]]:
     """Attribute-node knn (Figure 12a).
 
     For each social degree ``k`` (number of members of an attribute node), the
     average attribute degree of the members of attribute nodes having exactly
     ``k`` members.
     """
+    if isinstance(san, FrozenSAN):
+        indptr, indices = san.attributes.attr_to_social_csr()
+        member_counts = san.attributes.social_degree_array()
+        member_attr_degrees = san.attributes.attribute_degree_array()[indices]
+        return _knn_curve(indptr, member_counts, member_attr_degrees)
     sums: Dict[int, float] = {}
     counts: Dict[int, int] = {}
     for attribute in san.attribute_nodes():
@@ -91,18 +132,66 @@ def attribute_knn(san: SAN) -> List[Tuple[int, float]]:
     return sorted((degree, sums[degree] / counts[degree]) for degree in sums)
 
 
-def attribute_assortativity(san: SAN) -> float:
+def attribute_assortativity(san: SANLike) -> float:
     """Attribute assortativity coefficient (Figure 12b).
 
     Pearson correlation over attribute links between the social degree of the
     attribute endpoint and the attribute degree of the social endpoint.
     """
+    if isinstance(san, FrozenSAN):
+        sa_indptr, sa_indices = san.attributes.social_to_attr_csr()
+        social_sources = np.repeat(
+            np.arange(san.number_of_social_nodes(), dtype=np.int64),
+            np.diff(sa_indptr),
+        )
+        return _pearson_arrays(
+            san.attributes.social_degree_array()[sa_indices],
+            san.attributes.attribute_degree_array()[social_sources],
+        )
     xs: List[float] = []
     ys: List[float] = []
     for social, attribute in san.attribute_edges():
         xs.append(float(san.attribute_social_degree(attribute)))
         ys.append(float(san.attribute_degree(social)))
     return _pearson(xs, ys)
+
+
+def _knn_curve(
+    indptr: np.ndarray, row_degrees: np.ndarray, neighbor_values: np.ndarray
+) -> List[Tuple[int, float]]:
+    """Per-row neighbor-value averages grouped by row degree, vectorized.
+
+    ``neighbor_values`` is aligned with the CSR ``indices`` array; the
+    cumulative-sum difference yields each row's neighbor sum in one pass
+    (including empty rows), ``np.bincount`` then groups the per-row averages
+    by row degree.
+    """
+    prefix = np.concatenate(
+        ([0.0], np.cumsum(neighbor_values.astype(np.float64)))
+    )
+    row_sums = prefix[indptr[1:]] - prefix[indptr[:-1]]
+    mask = row_degrees > 0
+    if not np.any(mask):
+        return []
+    degrees = row_degrees[mask]
+    averages = row_sums[mask] / degrees
+    sums = np.bincount(degrees, weights=averages)
+    counts = np.bincount(degrees)
+    present = np.nonzero(counts)[0]
+    return [(int(k), float(sums[k] / counts[k])) for k in present]
+
+
+def _pearson_arrays(xs: np.ndarray, ys: np.ndarray) -> float:
+    """Pearson correlation over numpy arrays; 0.0 for degenerate inputs."""
+    if xs.size == 0 or xs.size != ys.size:
+        return 0.0
+    dx = xs.astype(np.float64) - xs.mean()
+    dy = ys.astype(np.float64) - ys.mean()
+    var_x = float(np.dot(dx, dx))
+    var_y = float(np.dot(dy, dy))
+    if var_x <= 0 or var_y <= 0:
+        return 0.0
+    return float(np.dot(dx, dy) / math.sqrt(var_x * var_y))
 
 
 def _pearson(xs: List[float], ys: List[float]) -> float:
