@@ -1,10 +1,30 @@
 """Setuptools entry point.
 
-The project metadata lives in ``pyproject.toml``; this file exists so that
-``pip install -e .`` works in offline environments whose setuptools lacks the
-PEP 660 editable-wheel path (no ``wheel`` package available).
+Kept as an executable ``setup.py`` (rather than pyproject-only metadata) so
+that ``pip install -e .`` works in offline environments whose setuptools
+lacks the PEP 660 editable-wheel path (no ``wheel`` package available).
+
+The library needs only numpy at runtime.  The optional ``fast`` extra pulls
+in scipy, whose sparse kernels the dispatch engine (:mod:`repro.engine`)
+selects automatically when present::
+
+    pip install -e .          # numpy-only: portable + batched-numpy kernels
+    pip install -e .[fast]    # + scipy sparse/csgraph kernels
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-san",
+    version="0.2.0",
+    description=(
+        "Social-Attribute Network measurement and modeling — a reproduction "
+        "of Gong et al., IMC 2012 (Google+), with a CSR-backed frozen graph "
+        "engine and backend-dispatched vectorized kernels"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    extras_require={"fast": ["scipy"]},
+)

@@ -16,7 +16,7 @@ from __future__ import annotations
 import math
 from typing import Hashable, Iterable, List, Optional, Sequence
 
-from ..graph.san import SAN
+from ..graph.protocol import SANView
 from ..utils.rng import RngLike, ensure_rng
 
 Node = Hashable
@@ -31,7 +31,7 @@ def required_samples(epsilon: float = 0.002, nu: float = 100.0) -> int:
     return int(math.ceil(math.log(2 * nu) / (2 * epsilon * epsilon)))
 
 
-def triple_score(san: SAN, first: Node, second: Node) -> int:
+def triple_score(san: SANView, first: Node, second: Node) -> int:
     """The mapping ``F`` on a directed SAN: 0, 1, or 2 links between endpoints."""
     forward = san.social.has_edge(first, second)
     backward = san.social.has_edge(second, first)
@@ -39,7 +39,7 @@ def triple_score(san: SAN, first: Node, second: Node) -> int:
 
 
 def approximate_average_clustering(
-    san: SAN,
+    san: SANView,
     population: Optional[Sequence[Node]] = None,
     epsilon: float = 0.002,
     nu: float = 100.0,
@@ -94,7 +94,7 @@ def approximate_average_clustering(
 
 
 def approximate_social_clustering(
-    san: SAN,
+    san: SANView,
     epsilon: float = 0.002,
     nu: float = 100.0,
     num_samples: Optional[int] = None,
@@ -112,7 +112,7 @@ def approximate_social_clustering(
 
 
 def approximate_attribute_clustering(
-    san: SAN,
+    san: SANView,
     epsilon: float = 0.002,
     nu: float = 100.0,
     num_samples: Optional[int] = None,

@@ -14,6 +14,7 @@ The average social clustering coefficient ``C_s`` averages ``c(u)`` over
 social nodes and the average attribute clustering coefficient ``C_a`` over
 attribute nodes (Sections 3.4 and 4.1).
 
+Every public function dispatches through the :mod:`repro.engine` registry.
 On a frozen backend (:class:`~repro.graph.frozen.FrozenSAN`) the inner
 ``L(u)`` count is vectorized: the successor lists of all of ``u``'s neighbors
 are gathered from the CSR arrays in one shot and membership in the (sorted)
@@ -22,7 +23,15 @@ Python set probe per candidate link.  Whole-graph averages go further when
 scipy is installed: with neighborhood incidence ``A`` (undirected projection
 or attribute membership) and loop-free directed adjacency ``D``, the per-node
 link counts are ``L = ((A @ D) ⊙ A) · 1`` — three sparse operations for the
-entire graph.  Without scipy the batched per-node kernel is used instead.
+entire graph.  Without scipy (or with ``REPRO_NO_SCIPY=1``) the registry
+selects the batched per-node kernels instead.
+
+Examples
+--------
+>>> from repro.graph import san_from_edge_lists
+>>> san = san_from_edge_lists([(1, 2), (2, 1), (1, 3), (3, 2)])
+>>> node_clustering_coefficient(san, 2) == node_clustering_coefficient(san.freeze(), 2)
+True
 """
 
 from __future__ import annotations
@@ -31,11 +40,8 @@ from typing import Dict, Hashable, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
-try:  # scipy is optional: the frozen kernels fall back to batched numpy
-    from scipy import sparse as _sparse
-except ImportError:  # pragma: no cover - exercised only without scipy
-    _sparse = None
-
+from ..engine import dispatchable, kernel
+from ..engine.deps import scipy_sparse
 from ..graph.frozen import FrozenSAN, gather_rows, sorted_membership
 from ..graph.san import SAN
 
@@ -43,18 +49,9 @@ Node = Hashable
 SANLike = Union[SAN, FrozenSAN]
 
 
+@dispatchable("directed_links_among")
 def directed_links_among(san: SANLike, nodes: Iterable[Node]) -> int:
     """Count directed social links between members of ``nodes`` (``L(u)``)."""
-    if isinstance(san, FrozenSAN):
-        member_ids = np.array(
-            sorted(
-                san.social.index_of(node)
-                for node in nodes
-                if san.social.has_node(node)
-            ),
-            dtype=np.int64,
-        )
-        return _links_among_frozen(san, member_ids)
     members = [node for node in nodes if san.social.has_node(node)]
     member_set = set(members)
     count = 0
@@ -69,6 +66,19 @@ def directed_links_among(san: SANLike, nodes: Iterable[Node]) -> int:
                 if target != node and target in successors
             )
     return count
+
+
+@kernel("directed_links_among")
+def _directed_links_among_frozen(san: FrozenSAN, nodes: Iterable[Node]) -> int:
+    member_ids = np.array(
+        sorted(
+            san.social.index_of(node)
+            for node in nodes
+            if san.social.has_node(node)
+        ),
+        dtype=np.int64,
+    )
+    return _links_among_frozen(san, member_ids)
 
 
 def _links_among_frozen(san: FrozenSAN, member_ids: np.ndarray) -> int:
@@ -102,10 +112,11 @@ def _loop_free_directed_matrix(san: FrozenSAN):
 
 
 def _build_loop_free_directed_matrix(san: FrozenSAN):
+    sparse = scipy_sparse()
     n = san.social.number_of_nodes()
     sources, targets = san.social.edge_arrays()
     proper = sources != targets
-    return _sparse.csr_matrix(
+    return sparse.csr_matrix(
         (
             np.ones(int(np.count_nonzero(proper)), dtype=np.int64),
             (sources[proper], targets[proper]),
@@ -131,9 +142,10 @@ def _social_clustering_array(san: FrozenSAN) -> np.ndarray:
 
 
 def _build_social_clustering_array(san: FrozenSAN) -> np.ndarray:
+    sparse = scipy_sparse()
     indptr, indices = san.social.undirected_csr()
     n = san.social.number_of_nodes()
-    neighborhood = _sparse.csr_matrix(
+    neighborhood = sparse.csr_matrix(
         (np.ones(indices.size, dtype=np.int64), indices, indptr), shape=(n, n)
     )
     links = _links_per_row(neighborhood, _loop_free_directed_matrix(san))
@@ -150,10 +162,11 @@ def _attribute_clustering_array(san: FrozenSAN) -> np.ndarray:
 
 
 def _build_attribute_clustering_array(san: FrozenSAN) -> np.ndarray:
+    sparse = scipy_sparse()
     indptr, indices = san.attributes.attr_to_social_csr()
     num_attrs = san.attributes.number_of_attribute_nodes()
     n = san.social.number_of_nodes()
-    membership = _sparse.csr_matrix(
+    membership = sparse.csr_matrix(
         (np.ones(indices.size, dtype=np.int64), indices, indptr),
         shape=(num_attrs, n),
     )
@@ -165,14 +178,9 @@ def _build_attribute_clustering_array(san: FrozenSAN) -> np.ndarray:
     )
 
 
+@dispatchable("node_clustering_coefficient")
 def node_clustering_coefficient(san: SANLike, node: Node) -> float:
     """The paper's ``c(u)`` for a social or attribute node."""
-    if isinstance(san, FrozenSAN):
-        neighborhood = _neighborhood_ids(san, node)
-        k = int(neighborhood.size)
-        if k < 2:
-            return 0.0
-        return _links_among_frozen(san, neighborhood) / (k * (k - 1))
     neighbors = san.social_neighbors(node)
     k = len(neighbors)
     if k < 2:
@@ -181,28 +189,46 @@ def node_clustering_coefficient(san: SANLike, node: Node) -> float:
     return links / (k * (k - 1))
 
 
+@kernel("node_clustering_coefficient")
+def _node_clustering_coefficient_frozen(san: FrozenSAN, node: Node) -> float:
+    neighborhood = _neighborhood_ids(san, node)
+    k = int(neighborhood.size)
+    if k < 2:
+        return 0.0
+    return _links_among_frozen(san, neighborhood) / (k * (k - 1))
+
+
+@dispatchable("average_social_clustering_coefficient")
 def average_social_clustering_coefficient(san: SANLike) -> float:
     """Exact ``C_s``: mean clustering coefficient over all social nodes."""
-    if isinstance(san, FrozenSAN) and _sparse is not None:
-        coefficients = _social_clustering_array(san)
-        return float(coefficients.mean()) if coefficients.size else 0.0
     nodes = list(san.social_nodes())
     if not nodes:
         return 0.0
     return sum(node_clustering_coefficient(san, node) for node in nodes) / len(nodes)
 
 
+@kernel("average_social_clustering_coefficient", requires="scipy")
+def _average_social_clustering_frozen(san: FrozenSAN) -> float:
+    coefficients = _social_clustering_array(san)
+    return float(coefficients.mean()) if coefficients.size else 0.0
+
+
+@dispatchable("average_attribute_clustering_coefficient")
 def average_attribute_clustering_coefficient(san: SANLike) -> float:
     """Exact ``C_a``: mean clustering coefficient over all attribute nodes."""
-    if isinstance(san, FrozenSAN) and _sparse is not None:
-        coefficients = _attribute_clustering_array(san)
-        return float(coefficients.mean()) if coefficients.size else 0.0
     nodes = list(san.attribute_nodes())
     if not nodes:
         return 0.0
     return sum(node_clustering_coefficient(san, node) for node in nodes) / len(nodes)
 
 
+@kernel("average_attribute_clustering_coefficient", requires="scipy")
+def _average_attribute_clustering_frozen(san: FrozenSAN) -> float:
+    coefficients = _attribute_clustering_array(san)
+    return float(coefficients.mean()) if coefficients.size else 0.0
+
+
+@dispatchable("clustering_by_degree")
 def clustering_by_degree(
     san: SANLike, kind: str = "social"
 ) -> List[Tuple[int, float]]:
@@ -212,31 +238,10 @@ def clustering_by_degree(
     distinct social neighbors); ``kind="attribute"`` groups attribute nodes by
     their social degree (number of members).
     """
-    if kind not in ("social", "attribute"):
-        raise ValueError(f"kind must be 'social' or 'attribute', got {kind!r}")
-
-    if isinstance(san, FrozenSAN) and _sparse is not None:
-        if kind == "social":
-            degrees = san.social.undirected_degree_array()
-            coefficients = _social_clustering_array(san)
-        else:
-            degrees = san.attributes.social_degree_array()
-            coefficients = _attribute_clustering_array(san)
-        mask = degrees >= 2
-        if not np.any(mask):
-            return []
-        grouped_sums = np.bincount(degrees[mask], weights=coefficients[mask])
-        grouped_counts = np.bincount(degrees[mask])
-        present = np.nonzero(grouped_counts)[0]
-        return [(int(k), float(grouped_sums[k] / grouped_counts[k])) for k in present]
-
+    _require_kind(kind)
     if kind == "social":
         nodes = list(san.social_nodes())
-        if isinstance(san, FrozenSAN):
-            degree_array = san.social.undirected_degree_array()
-            degree_of = lambda node: int(degree_array[san.social.index_of(node)])
-        else:
-            degree_of = lambda node: len(san.social.neighbors(node))
+        degree_of = lambda node: len(san.social.neighbors(node))
     else:
         nodes = list(san.attribute_nodes())
         degree_of = lambda node: san.attribute_social_degree(node)
@@ -255,6 +260,59 @@ def clustering_by_degree(
     )
 
 
+def _require_kind(kind: str) -> None:
+    if kind not in ("social", "attribute"):
+        raise ValueError(f"kind must be 'social' or 'attribute', got {kind!r}")
+
+
+@kernel("clustering_by_degree", requires="scipy", priority=10)
+def _clustering_by_degree_frozen_sparse(
+    san: FrozenSAN, kind: str = "social"
+) -> List[Tuple[int, float]]:
+    _require_kind(kind)
+    if kind == "social":
+        degrees = san.social.undirected_degree_array()
+        coefficients = _social_clustering_array(san)
+    else:
+        degrees = san.attributes.social_degree_array()
+        coefficients = _attribute_clustering_array(san)
+    mask = degrees >= 2
+    if not np.any(mask):
+        return []
+    grouped_sums = np.bincount(degrees[mask], weights=coefficients[mask])
+    grouped_counts = np.bincount(degrees[mask])
+    present = np.nonzero(grouped_counts)[0]
+    return [(int(k), float(grouped_sums[k] / grouped_counts[k])) for k in present]
+
+
+@kernel("clustering_by_degree")
+def _clustering_by_degree_frozen(
+    san: FrozenSAN, kind: str = "social"
+) -> List[Tuple[int, float]]:
+    """Numpy-only frozen fallback: degree arrays + batched per-node ``L(u)``."""
+    _require_kind(kind)
+    if kind == "social":
+        nodes = san.social.labels()
+        degree_array = san.social.undirected_degree_array()
+    else:
+        nodes = san.attributes.attribute_labels()
+        degree_array = san.attributes.social_degree_array()
+
+    sums: Dict[int, float] = {}
+    counts: Dict[int, int] = {}
+    for position, node in enumerate(nodes):
+        degree = int(degree_array[position])
+        if degree < 2:
+            continue
+        coefficient = _node_clustering_coefficient_frozen(san, node)
+        sums[degree] = sums.get(degree, 0.0) + coefficient
+        counts[degree] = counts.get(degree, 0) + 1
+    return sorted(
+        (degree, sums[degree] / counts[degree]) for degree in sums
+    )
+
+
+@dispatchable("average_clustering_by_attribute_type")
 def average_clustering_by_attribute_type(san: SANLike) -> Dict[str, float]:
     """Average attribute clustering coefficient for every attribute type.
 
@@ -263,57 +321,67 @@ def average_clustering_by_attribute_type(san: SANLike) -> Dict[str, float]:
     array is computed once and grouped by the interned type codes, instead of
     once per type.
     """
-    if isinstance(san, FrozenSAN) and _sparse is not None:
-        coefficients = _attribute_clustering_array(san)
-        codes = san.attributes.type_codes()
-        type_names = san.attributes.type_names()  # already sorted
-        sums = np.bincount(codes, weights=coefficients, minlength=len(type_names))
-        counts = np.bincount(codes, minlength=len(type_names))
-        return {
-            name: float(sums[code] / counts[code]) if counts[code] else 0.0
-            for code, name in enumerate(type_names)
-        }
     return {
         attr_type: average_clustering_for_attribute_type(san, attr_type)
         for attr_type in sorted(san.attributes.attribute_types())
     }
 
 
+@kernel("average_clustering_by_attribute_type", requires="scipy")
+def _average_clustering_by_attribute_type_frozen(san: FrozenSAN) -> Dict[str, float]:
+    coefficients = _attribute_clustering_array(san)
+    codes = san.attributes.type_codes()
+    type_names = san.attributes.type_names()  # already sorted
+    sums = np.bincount(codes, weights=coefficients, minlength=len(type_names))
+    counts = np.bincount(codes, minlength=len(type_names))
+    return {
+        name: float(sums[code] / counts[code]) if counts[code] else 0.0
+        for code, name in enumerate(type_names)
+    }
+
+
+@dispatchable("average_clustering_for_attribute_type")
 def average_clustering_for_attribute_type(san: SANLike, attr_type: str) -> float:
     """Average attribute clustering coefficient restricted to one attribute type.
 
     This is the quantity behind Figure 13b (Employer vs School vs Major vs
     City community-forming power).
     """
-    if isinstance(san, FrozenSAN) and _sparse is not None:
-        type_names = san.attributes.type_names()
-        if attr_type not in type_names:
-            return 0.0
-        selected = np.nonzero(
-            san.attributes.type_codes() == type_names.index(attr_type)
-        )[0]
-        if selected.size == 0:
-            return 0.0
-        # Restrict the membership matrix to this type's rows so one type's
-        # average costs O(type size), not a whole-graph sparse product; the
-        # all-types path (average_clustering_by_attribute_type) computes and
-        # memoizes the full array in one pass instead.
-        indptr, indices = san.attributes.attr_to_social_csr()
-        members, counts = gather_rows(indptr, indices, selected)
-        sub_indptr = np.zeros(selected.size + 1, dtype=np.int64)
-        np.cumsum(counts, out=sub_indptr[1:])
-        membership = _sparse.csr_matrix(
-            (np.ones(members.size, dtype=np.int64), members, sub_indptr),
-            shape=(selected.size, san.social.number_of_nodes()),
-        )
-        links = _links_per_row(membership, _loop_free_directed_matrix(san))
-        degrees = san.attributes.social_degree_array()[selected]
-        pairs = degrees * (degrees - 1)
-        coefficients = np.divide(
-            links, pairs, out=np.zeros(selected.size, dtype=np.float64), where=pairs > 0
-        )
-        return float(coefficients.mean())
     nodes = list(san.attributes.attribute_nodes_of_type(attr_type))
     if not nodes:
         return 0.0
     return sum(node_clustering_coefficient(san, node) for node in nodes) / len(nodes)
+
+
+@kernel("average_clustering_for_attribute_type", requires="scipy")
+def _average_clustering_for_attribute_type_frozen(
+    san: FrozenSAN, attr_type: str
+) -> float:
+    sparse = scipy_sparse()
+    type_names = san.attributes.type_names()
+    if attr_type not in type_names:
+        return 0.0
+    selected = np.nonzero(
+        san.attributes.type_codes() == type_names.index(attr_type)
+    )[0]
+    if selected.size == 0:
+        return 0.0
+    # Restrict the membership matrix to this type's rows so one type's
+    # average costs O(type size), not a whole-graph sparse product; the
+    # all-types path (average_clustering_by_attribute_type) computes and
+    # memoizes the full array in one pass instead.
+    indptr, indices = san.attributes.attr_to_social_csr()
+    members, counts = gather_rows(indptr, indices, selected)
+    sub_indptr = np.zeros(selected.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=sub_indptr[1:])
+    membership = sparse.csr_matrix(
+        (np.ones(members.size, dtype=np.int64), members, sub_indptr),
+        shape=(selected.size, san.social.number_of_nodes()),
+    )
+    links = _links_per_row(membership, _loop_free_directed_matrix(san))
+    degrees = san.attributes.social_degree_array()[selected]
+    pairs = degrees * (degrees - 1)
+    coefficients = np.divide(
+        links, pairs, out=np.zeros(selected.size, dtype=np.float64), where=pairs > 0
+    )
+    return float(coefficients.mean())

@@ -2,20 +2,34 @@
 
 The Google+ crawl in the paper covers a large weakly connected component
 (Section 2.2); the crawler substrate and several metrics need WCC extraction.
+
+Both entry points dispatch through the :mod:`repro.engine` registry.  On a
+frozen graph (:class:`~repro.graph.frozen.FrozenDiGraph`) the weak components
+come from ``scipy.sparse.csgraph.connected_components`` over the undirected
+CSR when scipy is available, and from a frontier-array BFS labelling sweep
+otherwise; strong components use csgraph's ``connection="strong"`` mode with
+the portable iterative Tarjan as the fallback.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Hashable, Iterable, List, Set
+from typing import Dict, Hashable, Iterable, List, Set, Union
 
+import numpy as np
+
+from ..engine import dispatchable, kernel
+from ..engine.deps import scipy_csgraph, scipy_sparse
 from ..graph.digraph import DiGraph
-from ..graph.san import SAN
+from ..graph.frozen import FrozenDiGraph, gather_rows
+from ..graph.protocol import SANView
 
 Node = Hashable
+GraphLike = Union[DiGraph, FrozenDiGraph]
 
 
-def weakly_connected_components(graph: DiGraph) -> List[Set[Node]]:
+@dispatchable("weakly_connected_components")
+def weakly_connected_components(graph: GraphLike) -> List[Set[Node]]:
     """All weakly connected components, largest first."""
     adjacency = graph.to_undirected_adjacency()
     seen: Set[Node] = set()
@@ -38,13 +52,76 @@ def weakly_connected_components(graph: DiGraph) -> List[Set[Node]]:
     return components
 
 
-def largest_weakly_connected_component(graph: DiGraph) -> Set[Node]:
+def _components_from_labels(graph: FrozenDiGraph, labels: np.ndarray) -> List[Set[Node]]:
+    """Group compact ids by component label, largest component first.
+
+    Ties are broken by the earliest member in node-iteration order — the
+    canonical ordering every backend of both component flavours agrees on
+    (the portable implementations sort the same way).
+    """
+    node_labels = graph.labels()
+    order = np.argsort(labels, kind="stable")
+    sorted_labels = labels[order]
+    boundaries = np.nonzero(np.diff(sorted_labels))[0] + 1
+    groups = np.split(order, boundaries)
+    # np.unique(return_index) gives each component's first-appearance position.
+    _, first_seen = np.unique(labels, return_index=True)
+    ranked = sorted(
+        zip(groups, first_seen), key=lambda pair: (-pair[0].size, pair[1])
+    )
+    return [{node_labels[i] for i in group} for group, _ in ranked]
+
+
+@kernel("weakly_connected_components", requires="scipy", priority=10)
+def _weak_components_frozen_sparse(graph: FrozenDiGraph) -> List[Set[Node]]:
+    n = graph.number_of_nodes()
+    if n == 0:
+        return []
+    sparse = scipy_sparse()
+    csgraph = scipy_csgraph()
+    indptr, indices = graph.undirected_csr()
+    adjacency = sparse.csr_matrix(
+        (np.ones(indices.size, dtype=np.int8), indices, indptr), shape=(n, n)
+    )
+    _, labels = csgraph.connected_components(adjacency, directed=False)
+    return _components_from_labels(graph, labels)
+
+
+@kernel("weakly_connected_components")
+def _weak_components_frozen(graph: FrozenDiGraph) -> List[Set[Node]]:
+    """Numpy fallback: frontier-array BFS labelling over the undirected CSR."""
+    n = graph.number_of_nodes()
+    if n == 0:
+        return []
+    indptr, indices = graph.undirected_csr()
+    labels = np.full(n, -1, dtype=np.int64)
+    next_label = 0
+    for seed in range(n):
+        if labels[seed] >= 0:
+            continue
+        labels[seed] = next_label
+        frontier = np.array([seed], dtype=np.int64)
+        while frontier.size:
+            neighbors, _ = gather_rows(indptr, indices, frontier)
+            if neighbors.size == 0:
+                break
+            neighbors = np.unique(neighbors)
+            fresh = neighbors[labels[neighbors] < 0]
+            if fresh.size == 0:
+                break
+            labels[fresh] = next_label
+            frontier = fresh
+        next_label += 1
+    return _components_from_labels(graph, labels)
+
+
+def largest_weakly_connected_component(graph: GraphLike) -> Set[Node]:
     """Node set of the largest WCC (empty set for an empty graph)."""
     components = weakly_connected_components(graph)
     return components[0] if components else set()
 
 
-def wcc_fraction(graph: DiGraph) -> float:
+def wcc_fraction(graph: GraphLike) -> float:
     """Fraction of nodes inside the largest WCC."""
     total = graph.number_of_nodes()
     if total == 0:
@@ -52,18 +129,26 @@ def wcc_fraction(graph: DiGraph) -> float:
     return len(largest_weakly_connected_component(graph)) / total
 
 
-def restrict_san_to_largest_wcc(san: SAN) -> SAN:
-    """Induced SAN on the largest weakly connected social component."""
+def restrict_san_to_largest_wcc(san: SANView) -> SANView:
+    """Induced SAN on the largest weakly connected social component.
+
+    Accepts either backend; a frozen input yields a frozen result (extracted
+    directly from the CSR arrays via ``social_subgraph``).
+    """
     component = largest_weakly_connected_component(san.social)
     return san.social_subgraph(component)
 
 
-def strongly_connected_components(graph: DiGraph) -> List[Set[Node]]:
+@dispatchable("strongly_connected_components")
+def strongly_connected_components(graph: GraphLike) -> List[Set[Node]]:
     """Strongly connected components via iterative Tarjan, largest first.
 
-    Included for completeness of the substrate (reciprocity-heavy subgraphs are
-    strongly connected); implemented iteratively to avoid recursion limits on
-    large crawls.
+    Ties between equal-size components are broken by their earliest member
+    in node-iteration order, so the result is identical on every backend
+    (Tarjan's completion order is an implementation detail and is not
+    exposed).  Included for completeness of the substrate (reciprocity-heavy
+    subgraphs are strongly connected); implemented iteratively to avoid
+    recursion limits on large crawls.
     """
     index_counter = 0
     indices: Dict[Node, int] = {}
@@ -109,5 +194,25 @@ def strongly_connected_components(graph: DiGraph) -> List[Set[Node]]:
                     if member == node:
                         break
                 components.append(component)
-    components.sort(key=len, reverse=True)
+    position = {node: index for index, node in enumerate(graph.nodes())}
+    components.sort(
+        key=lambda component: (-len(component), min(position[n] for n in component))
+    )
     return components
+
+
+@kernel("strongly_connected_components", requires="scipy")
+def _strong_components_frozen_sparse(graph: FrozenDiGraph) -> List[Set[Node]]:
+    n = graph.number_of_nodes()
+    if n == 0:
+        return []
+    sparse = scipy_sparse()
+    csgraph = scipy_csgraph()
+    indptr, indices = graph.out_csr()
+    adjacency = sparse.csr_matrix(
+        (np.ones(indices.size, dtype=np.int8), indices, indptr), shape=(n, n)
+    )
+    _, labels = csgraph.connected_components(
+        adjacency, directed=True, connection="strong"
+    )
+    return _components_from_labels(graph, labels)

@@ -10,20 +10,38 @@ so that after ``d`` iterations ``counter[v]`` approximates the set of nodes
 reachable from ``v`` in at most ``d`` hops.  The effective diameter is then
 read off ``N(d)`` as the (interpolated) 90th-percentile distance, exactly as
 the paper does for Figure 4c.
+
+:func:`neighbourhood_function` dispatches through the :mod:`repro.engine`
+registry: on a frozen graph (:class:`~repro.graph.frozen.FrozenDiGraph`) the
+per-node counters live in one ``(n, 2**precision)`` register matrix and each
+HyperANF iteration is a single ``np.maximum.reduceat`` sweep over the CSR
+out-adjacency — the per-register Python loops of the portable path disappear
+entirely, which is what makes ``social_effective_diameter`` tractable on
+CSR-scale graphs.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional
+from typing import Dict, Hashable, List, Optional, Union
 
+import numpy as np
+
+from ..engine import dispatchable, kernel
 from ..graph.digraph import DiGraph
-from .hyperloglog import HyperLogLog
+from ..graph.frozen import FrozenDiGraph
+from .hyperloglog import (
+    HyperLogLog,
+    cardinality_of_register_matrix,
+    register_matrix_for_items,
+)
 
 Node = Hashable
+GraphLike = Union[DiGraph, FrozenDiGraph]
 
 
+@dispatchable("neighbourhood_function")
 def neighbourhood_function(
-    graph: DiGraph,
+    graph: GraphLike,
     precision: int = 7,
     max_iterations: int = 64,
     salt: int = 0,
@@ -61,6 +79,44 @@ def neighbourhood_function(
     return totals
 
 
+@kernel("neighbourhood_function")
+def _neighbourhood_function_frozen(
+    graph: FrozenDiGraph,
+    precision: int = 7,
+    max_iterations: int = 64,
+    salt: int = 0,
+) -> List[float]:
+    """Register-matrix HyperANF: one ``maximum.reduceat`` per iteration.
+
+    Registers are integers updated with ``max``, so the estimates match the
+    portable per-node counters exactly (up to float summation order in the
+    totals).
+    """
+    registers = register_matrix_for_items(graph.labels(), precision, salt)
+    totals: List[float] = [float(cardinality_of_register_matrix(registers).sum())]
+    indptr, indices = graph.out_csr()
+    nonempty = np.diff(indptr) > 0
+    # reduceat offsets: the CSR start of every non-empty row.  Because empty
+    # rows contribute no entries, consecutive offsets delimit exactly one
+    # row's successor block each.
+    offsets = indptr[:-1][nonempty]
+    for _ in range(max_iterations):
+        merged = registers.copy()
+        if indices.size:
+            neighbor_max = np.maximum.reduceat(registers[indices], offsets, axis=0)
+            merged[nonempty] = np.maximum(merged[nonempty], neighbor_max)
+        changed_any = bool((merged != registers).any())
+        registers = merged
+        totals.append(float(cardinality_of_register_matrix(registers).sum()))
+        if not changed_any:
+            break
+        if len(totals) >= 2 and totals[-2] > 0:
+            relative_growth = (totals[-1] - totals[-2]) / totals[-2]
+            if relative_growth < 1e-4:
+                break
+    return totals
+
+
 def effective_diameter_from_neighbourhood(
     totals: List[float], quantile: float = 0.9
 ) -> float:
@@ -91,7 +147,7 @@ def effective_diameter_from_neighbourhood(
 
 
 def effective_diameter(
-    graph: DiGraph,
+    graph: GraphLike,
     precision: int = 7,
     quantile: float = 0.9,
     max_iterations: int = 64,
@@ -104,7 +160,7 @@ def effective_diameter(
     return effective_diameter_from_neighbourhood(totals, quantile=quantile)
 
 
-def exact_neighbourhood_function(graph: DiGraph, max_depth: Optional[int] = None) -> List[float]:
+def exact_neighbourhood_function(graph: GraphLike, max_depth: Optional[int] = None) -> List[float]:
     """Exact neighbourhood function via per-node BFS (small graphs only).
 
     Provided for validating the HyperANF estimate in tests.

@@ -5,6 +5,15 @@ the effective diameter of Google+, maintains one HyperLogLog counter per node
 and repeatedly unions each node's counter with its neighbors' counters.  This
 module implements the counter itself: registers, element insertion, union, and
 the bias-corrected cardinality estimate.
+
+For the frozen HyperANF kernel (:mod:`repro.algorithms.hyperanf`) the module
+additionally exposes the counter state as plain numpy: one *register matrix*
+of shape ``(num_counters, 2**precision)`` where row ``i`` is counter ``i``'s
+registers.  :func:`register_parameters` computes the (index, rank) update of
+a single element — shared with :meth:`HyperLogLog.add`, so both backends hash
+identically — :func:`register_matrix_for_items` seeds one row per item, and
+:func:`cardinality_of_register_matrix` evaluates the bias-corrected estimate
+of every row at once.
 """
 
 from __future__ import annotations
@@ -12,7 +21,9 @@ from __future__ import annotations
 import hashlib
 import math
 import struct
-from typing import Hashable, Iterable, List
+from typing import Hashable, Iterable, List, Sequence, Tuple
+
+import numpy as np
 
 
 def _alpha(num_registers: int) -> float:
@@ -31,6 +42,67 @@ def _hash64(item: Hashable, salt: int = 0) -> int:
     payload = repr(item).encode("utf-8") + struct.pack("<Q", salt)
     digest = hashlib.blake2b(payload, digest_size=8).digest()
     return int.from_bytes(digest, "little")
+
+
+def register_parameters(
+    item: Hashable, precision: int, salt: int = 0
+) -> Tuple[int, int]:
+    """``(register_index, rank)`` produced by inserting ``item``.
+
+    This is the single-element update rule of :meth:`HyperLogLog.add`,
+    factored out so the vectorized register-matrix backend seeds rows with
+    bit-identical values.
+    """
+    num_registers = 1 << precision
+    hashed = _hash64(item, salt)
+    register_index = hashed & (num_registers - 1)
+    remaining = hashed >> precision
+    # Rank = position of the first set bit in the remaining 64 - b bits.
+    bit_budget = 64 - precision
+    if remaining == 0:
+        rank = bit_budget + 1
+    else:
+        rank = 1
+        while remaining & 1 == 0 and rank <= bit_budget:
+            remaining >>= 1
+            rank += 1
+    return register_index, rank
+
+
+def register_matrix_for_items(
+    items: Sequence[Hashable], precision: int, salt: int = 0
+) -> np.ndarray:
+    """One-counter-per-item register matrix, each row seeded with its item.
+
+    Row ``i`` equals the registers of a fresh :class:`HyperLogLog` after
+    ``add(items[i])``.
+    """
+    matrix = np.zeros((len(items), 1 << precision), dtype=np.uint8)
+    for i, item in enumerate(items):
+        index, rank = register_parameters(item, precision, salt)
+        matrix[i, index] = rank
+    return matrix
+
+
+def cardinality_of_register_matrix(registers: np.ndarray) -> np.ndarray:
+    """Bias-corrected cardinality estimate of every row of a register matrix.
+
+    Vectorized counterpart of :meth:`HyperLogLog.cardinality`, including the
+    small-range linear-counting correction.
+    """
+    if registers.ndim != 2:
+        raise ValueError("expected a 2-D (counters, registers) matrix")
+    num_counters, m = registers.shape
+    if num_counters == 0:
+        return np.zeros(0, dtype=np.float64)
+    harmonic = np.ldexp(1.0, -registers.astype(np.int64)).sum(axis=1)
+    raw = _alpha(m) * m * m / harmonic
+    zeros = (registers == 0).sum(axis=1)
+    small = (raw <= 2.5 * m) & (zeros > 0)
+    if np.any(small):
+        corrected = m * np.log(m / np.where(zeros > 0, zeros, 1))
+        raw = np.where(small, corrected, raw)
+    return raw
 
 
 class HyperLogLog:
@@ -58,18 +130,7 @@ class HyperLogLog:
 
     def add(self, item: Hashable) -> None:
         """Insert ``item`` into the counter."""
-        hashed = _hash64(item, self.salt)
-        register_index = hashed & (self.num_registers - 1)
-        remaining = hashed >> self.precision
-        # Rank = position of the first set bit in the remaining 64 - b bits.
-        bit_budget = 64 - self.precision
-        if remaining == 0:
-            rank = bit_budget + 1
-        else:
-            rank = 1
-            while remaining & 1 == 0 and rank <= bit_budget:
-                remaining >>= 1
-                rank += 1
+        register_index, rank = register_parameters(item, self.precision, self.salt)
         if rank > self.registers[register_index]:
             self.registers[register_index] = rank
 

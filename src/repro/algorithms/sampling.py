@@ -8,17 +8,20 @@ procedure.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Iterator, List, Optional, Sequence, TypeVar
+from typing import Hashable, Iterable, Iterator, List, Optional, Sequence, TypeVar, Union
 
+from ..engine import dispatchable, kernel
+from ..graph.frozen import FrozenSAN
 from ..graph.san import SAN
 from ..utils.rng import RngLike, ensure_rng
 from ..utils.validation import require_probability
 
 T = TypeVar("T")
 Node = Hashable
+SANLike = Union[SAN, FrozenSAN]
 
 
-def sample_nodes(san: SAN, count: int, rng: RngLike = None) -> List[Node]:
+def sample_nodes(san: SANLike, count: int, rng: RngLike = None) -> List[Node]:
     """Uniform sample (without replacement) of social nodes."""
     generator = ensure_rng(rng)
     nodes = list(san.social_nodes())
@@ -27,8 +30,9 @@ def sample_nodes(san: SAN, count: int, rng: RngLike = None) -> List[Node]:
     return generator.sample(nodes, count)
 
 
+@dispatchable("sample_social_edges")
 def sample_social_edges(
-    san: SAN, count: int, rng: RngLike = None
+    san: SANLike, count: int, rng: RngLike = None
 ) -> List[tuple]:
     """Uniform sample (without replacement) of directed social edges."""
     generator = ensure_rng(rng)
@@ -38,8 +42,25 @@ def sample_social_edges(
     return generator.sample(edges, count)
 
 
+@kernel("sample_social_edges")
+def _sample_social_edges_frozen(
+    san: FrozenSAN, count: int, rng: RngLike = None
+) -> List[tuple]:
+    """Sample edge positions from the CSR edge arrays, never materializing
+    the full edge list."""
+    generator = ensure_rng(rng)
+    num_edges = san.social.number_of_edges()
+    sources, targets = san.social.edge_arrays()
+    labels = san.social.labels()
+    if count >= num_edges:
+        chosen: Sequence[int] = range(num_edges)
+    else:
+        chosen = generator.sample(range(num_edges), count)
+    return [(labels[sources[i]], labels[targets[i]]) for i in chosen]
+
+
 def subsample_attributes(
-    san: SAN, keep_probability: float = 0.5, rng: RngLike = None
+    san: SANLike, keep_probability: float = 0.5, rng: RngLike = None
 ) -> SAN:
     """Drop each user's attribute links independently with probability ``1 - keep``.
 
@@ -64,7 +85,7 @@ def subsample_attributes(
 
 
 def drop_users_attributes(
-    san: SAN, keep_probability: float = 0.78, rng: RngLike = None
+    san: SANLike, keep_probability: float = 0.78, rng: RngLike = None
 ) -> SAN:
     """Hide *all* attributes of a random subset of users.
 

@@ -4,22 +4,35 @@ The paper measures directed distances (Section 3.3): ``dist(u, v)`` is the
 length of the shortest *directed* path from ``u`` to ``v`` using social links
 only.  The attribute distance (Section 4.1) is derived from social distances
 between the members of two attribute nodes.
+
+:func:`bfs_distances` and :func:`sample_distance_distribution` dispatch
+through the :mod:`repro.engine` registry: on a frozen graph
+(:class:`~repro.graph.frozen.FrozenDiGraph`) the BFS runs as a frontier-array
+sweep over the CSR arrays — each level expands every frontier node's
+successor list in one ``gather_rows`` call — instead of a Python deque loop,
+and the sampled distance histogram accumulates with ``np.bincount``.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple, Union
 
+import numpy as np
+
+from ..engine import dispatchable, kernel
 from ..graph.digraph import DiGraph
-from ..graph.san import SAN
+from ..graph.frozen import FrozenDiGraph, gather_rows
+from ..graph.protocol import SANView
 from ..utils.rng import RngLike, ensure_rng
 
 Node = Hashable
+GraphLike = Union[DiGraph, FrozenDiGraph]
 
 
+@dispatchable("bfs_distances")
 def bfs_distances(
-    graph: DiGraph, source: Node, max_depth: Optional[int] = None
+    graph: GraphLike, source: Node, max_depth: Optional[int] = None
 ) -> Dict[Node, int]:
     """Directed BFS distances from ``source`` to every reachable node.
 
@@ -40,6 +53,50 @@ def bfs_distances(
     return distances
 
 
+def frontier_bfs_levels(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    source_id: int,
+    max_depth: Optional[int] = None,
+) -> np.ndarray:
+    """Array BFS over a CSR adjacency: distance per compact id, -1 unreachable.
+
+    The whole frontier is expanded per level with one :func:`gather_rows`
+    call, so the per-level cost is a handful of vectorized operations rather
+    than one Python iteration per edge.
+    """
+    n = indptr.size - 1
+    distances = np.full(n, -1, dtype=np.int64)
+    distances[source_id] = 0
+    frontier = np.array([source_id], dtype=np.int64)
+    depth = 0
+    while frontier.size and (max_depth is None or depth < max_depth):
+        neighbors, _ = gather_rows(indptr, indices, frontier)
+        if neighbors.size == 0:
+            break
+        neighbors = np.unique(neighbors)
+        fresh = neighbors[distances[neighbors] < 0]
+        if fresh.size == 0:
+            break
+        depth += 1
+        distances[fresh] = depth
+        frontier = fresh
+    return distances
+
+
+@kernel("bfs_distances")
+def _bfs_distances_frozen(
+    graph: FrozenDiGraph, source: Node, max_depth: Optional[int] = None
+) -> Dict[Node, int]:
+    indptr, indices = graph.out_csr()
+    distances = frontier_bfs_levels(
+        indptr, indices, graph.index_of(source), max_depth=max_depth
+    )
+    labels = graph.labels()
+    reached = np.nonzero(distances >= 0)[0]
+    return {labels[i]: int(distances[i]) for i in reached}
+
+
 def undirected_bfs_distances(
     adjacency: Dict[Node, Set[Node]], source: Node, max_depth: Optional[int] = None
 ) -> Dict[Node, int]:
@@ -58,7 +115,7 @@ def undirected_bfs_distances(
     return distances
 
 
-def shortest_path_length(graph: DiGraph, source: Node, target: Node) -> Optional[int]:
+def shortest_path_length(graph: GraphLike, source: Node, target: Node) -> Optional[int]:
     """Directed shortest-path length, or ``None`` when ``target`` is unreachable."""
     if source == target:
         return 0
@@ -76,8 +133,9 @@ def shortest_path_length(graph: DiGraph, source: Node, target: Node) -> Optional
     return None
 
 
+@dispatchable("sample_distance_distribution")
 def sample_distance_distribution(
-    graph: DiGraph,
+    graph: GraphLike,
     num_sources: int = 200,
     rng: RngLike = None,
     max_depth: Optional[int] = None,
@@ -104,6 +162,44 @@ def sample_distance_distribution(
                 continue
             histogram[distance] = histogram.get(distance, 0) + 1
     return dict(sorted(histogram.items()))
+
+
+@kernel("sample_distance_distribution")
+def _sample_distance_distribution_frozen(
+    graph: FrozenDiGraph,
+    num_sources: int = 200,
+    rng: RngLike = None,
+    max_depth: Optional[int] = None,
+) -> Dict[int, int]:
+    generator = ensure_rng(rng)
+    nodes = graph.labels()
+    if not nodes:
+        return {}
+    if num_sources >= len(nodes):
+        sources = list(nodes)
+    else:
+        sources = generator.sample(list(nodes), num_sources)
+    indptr, indices = graph.out_csr()
+    counts: Optional[np.ndarray] = None
+    for source in sources:
+        distances = frontier_bfs_levels(
+            indptr, indices, graph.index_of(source), max_depth=max_depth
+        )
+        reached = distances[distances > 0]  # drop unreachable and the source
+        if reached.size == 0:
+            continue
+        histogram = np.bincount(reached)
+        if counts is None:
+            counts = histogram
+        elif histogram.size > counts.size:
+            histogram[: counts.size] += counts
+            counts = histogram
+        else:
+            counts[: histogram.size] += histogram
+    if counts is None:
+        return {}
+    present = np.nonzero(counts)[0]
+    return {int(distance): int(counts[distance]) for distance in present}
 
 
 def effective_diameter_from_histogram(
@@ -135,14 +231,15 @@ def effective_diameter_from_histogram(
 
 
 def attribute_distance(
-    san: SAN, attribute_a: Node, attribute_b: Node, max_depth: Optional[int] = None
+    san: SANView, attribute_a: Node, attribute_b: Node, max_depth: Optional[int] = None
 ) -> Optional[int]:
     """The paper's attribute distance (Section 4.1).
 
     ``dist(a, b) = min{dist(u, v) : u in Gamma_s(a), v in Gamma_s(b)} + 1``:
     one plus the minimum directed social distance between any member of ``a``
     and any member of ``b``.  Returns ``None`` when no member of ``b`` is
-    reachable from any member of ``a``.
+    reachable from any member of ``a``.  Accepts either SAN backend; the
+    inner BFS dispatches to the frontier-array kernel on frozen inputs.
     """
     members_a = san.attributes.members_of(attribute_a)
     members_b = set(san.attributes.members_of(attribute_b))
@@ -166,7 +263,7 @@ def attribute_distance(
 
 
 def sample_attribute_distance_distribution(
-    san: SAN,
+    san: SANView,
     num_pairs: int = 100,
     rng: RngLike = None,
     max_depth: Optional[int] = None,

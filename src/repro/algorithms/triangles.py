@@ -6,9 +6,11 @@ edge as a *triadic* closure (the endpoints share a social neighbor), a *focal*
 closure (they share an attribute), both, or neither.
 
 All helpers accept either SAN backend; :func:`count_directed_triangles`
-additionally carries a CSR kernel for the frozen backend that enumerates each
-triangle once over compact integer ids with batched binary searches, instead
-of the per-node dict walk used on the mutable backend.
+additionally registers CSR kernels for the frozen backend (via the
+:mod:`repro.engine` registry) that enumerate each triangle once over compact
+integer ids — a sparse ``trace(A³)/6`` when scipy is available, batched
+binary searches otherwise — instead of the per-node dict walk used on the
+mutable backend.
 """
 
 from __future__ import annotations
@@ -18,11 +20,8 @@ from typing import Dict, Hashable, Iterable, List, Set, Tuple, Union
 
 import numpy as np
 
-try:  # scipy is optional: the frozen kernel falls back to batched numpy
-    from scipy import sparse as _sparse
-except ImportError:  # pragma: no cover - exercised only without scipy
-    _sparse = None
-
+from ..engine import dispatchable, kernel
+from ..engine.deps import scipy_sparse
 from ..graph.frozen import FrozenSAN, gather_rows, sorted_membership
 from ..graph.san import SAN
 
@@ -128,14 +127,13 @@ def classify_closures(
     return breakdown
 
 
+@dispatchable("count_directed_triangles")
 def count_directed_triangles(san: SANLike) -> int:
     """Number of (unordered) connected triples forming a triangle in the
     undirected projection of the social layer.
 
     Used by tests as an independent cross-check of the clustering machinery.
     """
-    if isinstance(san, FrozenSAN):
-        return _count_triangles_frozen(san)
     adjacency = san.social.to_undirected_adjacency()
     count = 0
     for node, neighbors in adjacency.items():
@@ -150,24 +148,28 @@ def count_directed_triangles(san: SANLike) -> int:
     return count
 
 
-def _count_triangles_frozen(san: FrozenSAN) -> int:
-    """Triangle count over the undirected CSR projection.
+@kernel("count_directed_triangles", requires="scipy", priority=10)
+def _count_triangles_frozen_sparse(san: FrozenSAN) -> int:
+    """Sparse triangle count: ``trace(A^3) / 6 = sum((A @ A) ⊙ A) / 6``."""
+    sparse = scipy_sparse()
+    indptr, indices = san.social.undirected_csr()
+    n = san.social.number_of_nodes()
+    adjacency = sparse.csr_matrix(
+        (np.ones(indices.size, dtype=np.int64), indices, indptr), shape=(n, n)
+    )
+    closed_wedges = (adjacency @ adjacency).multiply(adjacency).sum()
+    return int(closed_wedges) // 6
 
-    With scipy, the count is ``trace(A^3) / 6 = sum((A @ A) ⊙ A) / 6`` in
-    sparse arithmetic.  Otherwise each triangle ``u < v < w`` (compact ids)
-    is counted exactly once at its smallest vertex ``u``: among the neighbors
-    of ``u`` greater than ``u``, count ordered candidate pairs ``(v, w)``
-    with ``w`` adjacent to ``v`` and ``w > v``, both resolved with vectorized
-    binary searches.
+
+@kernel("count_directed_triangles")
+def _count_triangles_frozen(san: FrozenSAN) -> int:
+    """Numpy fallback: each triangle ``u < v < w`` (compact ids) is counted
+    exactly once at its smallest vertex ``u`` — among the neighbors of ``u``
+    greater than ``u``, count ordered candidate pairs ``(v, w)`` with ``w``
+    adjacent to ``v`` and ``w > v``, both resolved with vectorized binary
+    searches.
     """
     indptr, indices = san.social.undirected_csr()
-    if _sparse is not None:
-        n = san.social.number_of_nodes()
-        adjacency = _sparse.csr_matrix(
-            (np.ones(indices.size, dtype=np.int64), indices, indptr), shape=(n, n)
-        )
-        closed_wedges = (adjacency @ adjacency).multiply(adjacency).sum()
-        return int(closed_wedges) // 6
     count = 0
     for u in range(san.social.number_of_nodes()):
         row = indices[indptr[u] : indptr[u + 1]]

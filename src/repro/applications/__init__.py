@@ -11,11 +11,15 @@ from .link_prediction import (
     STRUCTURE_FEATURES,
     LogisticPredictor,
     PredictionDataset,
+    adamic_adar_scores,
     auc_score,
     build_link_prediction_dataset,
     build_reciprocity_dataset,
+    common_neighbor_counts,
     compare_predictors,
     pair_features,
+    pair_features_batch,
+    rank_candidate_pairs,
 )
 from .sybil import (
     SybilDefenseResult,
@@ -34,11 +38,15 @@ __all__ = [
     "STRUCTURE_FEATURES",
     "LogisticPredictor",
     "PredictionDataset",
+    "adamic_adar_scores",
     "auc_score",
     "build_link_prediction_dataset",
     "build_reciprocity_dataset",
+    "common_neighbor_counts",
     "compare_predictors",
     "pair_features",
+    "pair_features_batch",
+    "rank_candidate_pairs",
     "SybilDefenseResult",
     "SybilLimitParameters",
     "acceptance_probability",

@@ -12,13 +12,23 @@ last hops, comparing the real Google+ topology against model-generated ones.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Sequence, Set
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Union
 
-from ..algorithms.random_walk import capped_undirected_adjacency, random_walk
+import numpy as np
+
+from ..algorithms.random_walk import (
+    batched_walk_ids,
+    capped_undirected_adjacency,
+    capped_undirected_csr,
+    random_walk,
+)
+from ..engine import dispatchable, kernel
+from ..graph.frozen import FrozenSAN, sorted_membership
 from ..graph.san import SAN
 from ..utils.rng import RngLike, ensure_rng
 
 Node = Hashable
+SANLike = Union[SAN, FrozenSAN]
 
 
 @dataclass(frozen=True)
@@ -38,8 +48,9 @@ class AnonymityResult:
     attack_probability: float
 
 
+@dispatchable("anonymity.end_to_end_attack_probability")
 def end_to_end_attack_probability(
-    san: SAN,
+    san: SANLike,
     compromised: Set[Node],
     params: AnonymityParameters = AnonymityParameters(),
     rng: RngLike = None,
@@ -74,8 +85,50 @@ def end_to_end_attack_probability(
     return attacks / built
 
 
+@kernel("anonymity.end_to_end_attack_probability")
+def _end_to_end_attack_probability_frozen(
+    san: FrozenSAN,
+    compromised: Set[Node],
+    params: AnonymityParameters = AnonymityParameters(),
+    rng: RngLike = None,
+) -> float:
+    """All Monte-Carlo circuits advance together as one batched walk."""
+    generator = ensure_rng(rng)
+    indptr, indices = capped_undirected_csr(
+        san.social, degree_cap=params.degree_bound, rng=generator
+    )
+    compromised_ids = np.array(
+        sorted(
+            san.social.index_of(node)
+            for node in compromised
+            if san.social.has_node(node)
+        ),
+        dtype=np.int64,
+    )
+    num_nodes = san.social.number_of_nodes()
+    honest = np.setdiff1d(
+        np.arange(num_nodes, dtype=np.int64), compromised_ids, assume_unique=True
+    )
+    if honest.size == 0:
+        return 0.0
+    np_rng = np.random.default_rng(generator.getrandbits(64))
+    initiators = honest[np_rng.integers(0, honest.size, size=params.num_circuits)]
+    paths = batched_walk_ids(
+        indptr, indices, initiators, params.circuit_length, np_rng
+    )
+    complete = paths[:, -1] >= 0  # circuits that survived every hop
+    if not np.any(complete):
+        return 0.0
+    first_relays = paths[complete, 1]
+    last_relays = paths[complete, -1]
+    attacks = sorted_membership(compromised_ids, first_relays) & sorted_membership(
+        compromised_ids, last_relays
+    )
+    return float(np.count_nonzero(attacks) / int(np.count_nonzero(complete)))
+
+
 def attack_probability_vs_compromised(
-    san: SAN,
+    san: SANLike,
     compromised_counts: Sequence[int],
     params: AnonymityParameters = AnonymityParameters(),
     rng: RngLike = None,

@@ -16,19 +16,35 @@ generative models.
 This module implements that experiment faithfully — including the degree cap —
 plus the random-route machinery itself (so the acceptance bound can also be
 exercised directly in tests).
+
+Both experiment drivers dispatch through the :mod:`repro.engine` registry: on
+a frozen SAN the degree-capped topology is a capped CSR, the attack-edge
+count per compromise level is one gather + sorted-membership pass over the
+compromised rows, and the random routes of the acceptance experiment advance
+as one batched vectorized walk instead of one Python walk per route.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
-from ..algorithms.random_walk import capped_undirected_adjacency, random_walk
+import numpy as np
+
+from ..algorithms.random_walk import (
+    batched_walk_ids,
+    capped_undirected_adjacency,
+    capped_undirected_csr,
+    random_walk,
+)
+from ..engine import dispatchable, kernel
+from ..graph.frozen import FrozenSAN, gather_rows, sorted_membership
 from ..graph.san import SAN
 from ..utils.rng import RngLike, ensure_rng
 
 Node = Hashable
+SANLike = Union[SAN, FrozenSAN]
 
 
 @dataclass(frozen=True)
@@ -70,8 +86,9 @@ def count_attack_edges(
     return attack_edges
 
 
+@dispatchable("sybil.identities_vs_compromised")
 def sybil_identities_vs_compromised(
-    san: SAN,
+    san: SANLike,
     compromised_counts: Sequence[int],
     params: SybilLimitParameters = SybilLimitParameters(),
     rng: RngLike = None,
@@ -92,6 +109,43 @@ def sybil_identities_vs_compromised(
         actual = min(count, len(nodes))
         compromised = set(generator.sample(nodes, actual)) if actual else set()
         attack_edges = count_attack_edges(adjacency, compromised)
+        results.append(
+            SybilDefenseResult(
+                num_compromised=actual,
+                num_attack_edges=attack_edges,
+                num_sybil_identities=attack_edges * params.sybil_bound_per_edge,
+            )
+        )
+    return results
+
+
+@kernel("sybil.identities_vs_compromised")
+def _sybil_identities_frozen(
+    san: FrozenSAN,
+    compromised_counts: Sequence[int],
+    params: SybilLimitParameters = SybilLimitParameters(),
+    rng: RngLike = None,
+) -> List[SybilDefenseResult]:
+    generator = ensure_rng(rng)
+    indptr, indices = capped_undirected_csr(
+        san.social, degree_cap=params.degree_bound, rng=generator
+    )
+    labels = san.social.labels()
+    num_nodes = len(labels)
+    results: List[SybilDefenseResult] = []
+    for count in compromised_counts:
+        actual = min(count, num_nodes)
+        if actual:
+            compromised_ids = np.array(
+                sorted(generator.sample(range(num_nodes), actual)), dtype=np.int64
+            )
+            # Attack edges from the compromised side: gather the capped rows
+            # of every compromised node and count neighbors outside the set.
+            neighbors, _ = gather_rows(indptr, indices, compromised_ids)
+            internal = sorted_membership(compromised_ids, neighbors)
+            attack_edges = int(neighbors.size - np.count_nonzero(internal))
+        else:
+            attack_edges = 0
         results.append(
             SybilDefenseResult(
                 num_compromised=actual,
@@ -124,8 +178,9 @@ def random_route_tails(
     return tails
 
 
+@dispatchable("sybil.acceptance_probability")
 def acceptance_probability(
-    san: SAN,
+    san: SANLike,
     verifier: Node,
     suspect: Node,
     params: SybilLimitParameters = SybilLimitParameters(),
@@ -156,5 +211,47 @@ def acceptance_probability(
         return 0.0
     intersections = sum(
         1 for tail in suspect_tails if tail in verifier_tails or tail[::-1] in verifier_tails
+    )
+    return intersections / len(suspect_tails)
+
+
+@kernel("sybil.acceptance_probability")
+def _acceptance_probability_frozen(
+    san: FrozenSAN,
+    verifier: Node,
+    suspect: Node,
+    params: SybilLimitParameters = SybilLimitParameters(),
+    num_routes: Optional[int] = None,
+    rng: RngLike = None,
+) -> float:
+    generator = ensure_rng(rng)
+    indptr, indices = capped_undirected_csr(
+        san.social, degree_cap=params.degree_bound, rng=generator
+    )
+    num_edges = int(indices.size) // 2
+    routes = num_routes if num_routes is not None else max(4, int(math.sqrt(max(num_edges, 1))))
+    np_rng = np.random.default_rng(generator.getrandbits(64))
+
+    def tails_of(node: Node) -> List[Tuple[int, int]]:
+        start_ids = np.full(routes, san.social.index_of(node), dtype=np.int64)
+        paths = batched_walk_ids(indptr, indices, start_ids, params.walk_length, np_rng)
+        # A route contributes its last edge only if it survived >= 1 step.
+        tails: List[Tuple[int, int]] = []
+        for row in paths:
+            walk = row[row >= 0]
+            if walk.size >= 2:
+                tails.append((int(walk[-2]), int(walk[-1])))
+        return tails
+
+    verifier_tails = set(tails_of(verifier))
+    if not verifier_tails:
+        return 0.0
+    suspect_tails = tails_of(suspect)
+    if not suspect_tails:
+        return 0.0
+    intersections = sum(
+        1
+        for tail in suspect_tails
+        if tail in verifier_tails or tail[::-1] in verifier_tails
     )
     return intersections / len(suspect_tails)

@@ -1,11 +1,15 @@
 """Command-line interface for the SAN reproduction library.
 
-Four subcommands cover the common workflows without writing any Python:
+Five subcommands cover the common workflows without writing any Python:
 
 * ``simulate``  — run the synthetic Google+ evolution and save the final SAN
   (or a chosen day's snapshot) as a TSV pair.
 * ``measure``   — load a SAN from a TSV pair and print the paper's headline
-  metrics.
+  metrics (``--frozen`` compacts to the CSR backend first).
+* ``report``    — the freeze-once pipeline: freeze the SAN a single time and
+  run the full metric *and* algorithm battery (headline metrics plus exact
+  clustering, triangles, and weak-component structure) on the frozen
+  backend's vectorized kernels.
 * ``estimate``  — estimate the generative-model parameters from a SAN file.
 * ``generate``  — run the generative model (optionally with parameters
   estimated from a reference SAN) and save the synthetic SAN.
@@ -16,6 +20,7 @@ Examples
 
     python -m repro simulate --users 2000 --days 98 --out-prefix /tmp/gplus
     python -m repro measure --social /tmp/gplus.social.tsv --attributes /tmp/gplus.attrs.tsv
+    python -m repro report --social /tmp/gplus.social.tsv --attributes /tmp/gplus.attrs.tsv
     python -m repro estimate --social /tmp/gplus.social.tsv --attributes /tmp/gplus.attrs.tsv
     python -m repro generate --steps 2000 --out-prefix /tmp/synthetic
 """
@@ -28,7 +33,7 @@ from typing import List, Optional
 
 from .crawler import crawl_evolution
 from .graph import SAN, load_san_tsv, save_san_tsv
-from .metrics import format_report, san_metric_report
+from .metrics import format_report, frozen_san_report, san_metric_report
 from .metrics.evolution import PhaseBoundaries
 from .models import SANModelParameters, estimate_parameters, generate_san
 from .synthetic import GooglePlusConfig, build_workload, standard_snapshot_days
@@ -63,6 +68,22 @@ def build_parser() -> argparse.ArgumentParser:
         "(vectorized metric kernels; recommended for large graphs)",
     )
     measure.add_argument("--seed", type=int, default=0)
+
+    report_help = (
+        "freeze the SAN once, then run the full metric/algorithm battery "
+        "(headline metrics + exact clustering, triangles, components) on the "
+        "frozen backend's vectorized kernels"
+    )
+    report = subparsers.add_parser("report", help=report_help, description=report_help)
+    report.add_argument("--social", required=True, help="social edge TSV (source<TAB>target)")
+    report.add_argument("--attributes", required=True, help="attribute TSV (user<TAB>type<TAB>value)")
+    report.add_argument("--no-diameter", action="store_true", help="skip the effective-diameter estimate")
+    report.add_argument(
+        "--out",
+        default=None,
+        help="also write the rendered report to this file",
+    )
+    report.add_argument("--seed", type=int, default=0)
 
     estimate = subparsers.add_parser(
         "estimate", help="estimate generative-model parameters from a SAN TSV pair"
@@ -120,6 +141,24 @@ def _command_measure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_report(args: argparse.Namespace) -> int:
+    # The load itself performs the single freeze of the pipeline;
+    # frozen_san_report's freeze() call is then the identity.
+    san = load_san_tsv(args.social, args.attributes, frozen=True)
+    report = frozen_san_report(
+        san, include_diameter=not args.no_diameter, rng=args.seed
+    )
+    rendered = format_report(
+        report, title=f"SAN full report ({args.social}, frozen once)"
+    )
+    print(rendered)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
 def _command_estimate(args: argparse.Namespace) -> int:
     san = load_san_tsv(args.social, args.attributes)
     result = estimate_parameters(san, mean_sleep=args.mean_sleep, beta=args.beta)
@@ -159,6 +198,7 @@ def _command_generate(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "simulate": _command_simulate,
     "measure": _command_measure,
+    "report": _command_report,
     "estimate": _command_estimate,
     "generate": _command_generate,
 }

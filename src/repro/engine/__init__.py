@@ -1,0 +1,53 @@
+"""Backend-dispatch engine: kernel registry + optional-dependency gating.
+
+The engine is the only place in the library that inspects a graph's backend.
+Metric and algorithm modules declare a portable implementation with
+:func:`dispatchable` and attach vectorized backend kernels with
+:func:`kernel`; callers keep calling plain functions.  See
+:mod:`repro.engine.registry` for the dispatch rules and
+:mod:`repro.engine.deps` for how optional dependencies (scipy) are gated.
+"""
+
+from . import deps
+from .registry import (
+    FROZEN,
+    MUTABLE,
+    EngineConfig,
+    EngineError,
+    Kernel,
+    NoKernelError,
+    UnknownOperationError,
+    backend_of,
+    config,
+    configure,
+    dispatch,
+    dispatchable,
+    graph_size,
+    kernel,
+    kernels_for,
+    list_ops,
+    register,
+    resolve,
+)
+
+__all__ = [
+    "FROZEN",
+    "MUTABLE",
+    "EngineConfig",
+    "EngineError",
+    "Kernel",
+    "NoKernelError",
+    "UnknownOperationError",
+    "backend_of",
+    "config",
+    "configure",
+    "deps",
+    "dispatch",
+    "dispatchable",
+    "graph_size",
+    "kernel",
+    "kernels_for",
+    "list_ops",
+    "register",
+    "resolve",
+]

@@ -39,13 +39,25 @@ class AttributeInfo:
 class BipartiteAttributeGraph:
     """Undirected bipartite graph between social nodes and attribute nodes."""
 
-    __slots__ = ("_social_to_attrs", "_attr_to_socials", "_attr_info", "_num_links")
+    __slots__ = (
+        "_social_to_attrs",
+        "_attr_to_socials",
+        "_attr_info",
+        "_num_links",
+        "_version",
+        "__weakref__",
+    )
 
     def __init__(self) -> None:
         self._social_to_attrs: Dict[SocialNode, Set[AttributeNode]] = {}
         self._attr_to_socials: Dict[AttributeNode, Set[SocialNode]] = {}
         self._attr_info: Dict[AttributeNode, AttributeInfo] = {}
         self._num_links = 0
+        self._version = 0
+
+    def version(self) -> int:
+        """Mutation counter: bumped by every state-changing call."""
+        return self._version
 
     # ------------------------------------------------------------------
     # Node management
@@ -53,6 +65,7 @@ class BipartiteAttributeGraph:
     def add_social_node(self, node: SocialNode) -> None:
         if node not in self._social_to_attrs:
             self._social_to_attrs[node] = set()
+            self._version += 1
 
     def add_attribute_node(
         self,
@@ -65,6 +78,7 @@ class BipartiteAttributeGraph:
             self._attr_info[node] = AttributeInfo(
                 attr_type=attr_type, value=str(node) if value is None else value
             )
+            self._version += 1
 
     def has_social_node(self, node: SocialNode) -> bool:
         return node in self._social_to_attrs
@@ -101,6 +115,7 @@ class BipartiteAttributeGraph:
             self._attr_to_socials[attr].discard(node)
         self._num_links -= len(self._social_to_attrs[node])
         del self._social_to_attrs[node]
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Link management
@@ -118,6 +133,7 @@ class BipartiteAttributeGraph:
         self._social_to_attrs[social].add(attribute)
         self._attr_to_socials[attribute].add(social)
         self._num_links += 1
+        self._version += 1
         return True
 
     def remove_link(self, social: SocialNode, attribute: AttributeNode) -> None:
@@ -131,6 +147,7 @@ class BipartiteAttributeGraph:
         self._social_to_attrs[social].discard(attribute)
         self._attr_to_socials[attribute].discard(social)
         self._num_links -= 1
+        self._version += 1
 
     def has_link(self, social: SocialNode, attribute: AttributeNode) -> bool:
         attrs = self._social_to_attrs.get(social)

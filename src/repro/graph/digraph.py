@@ -44,15 +44,25 @@ class DiGraph:
     (1, 1)
     """
 
-    __slots__ = ("_succ", "_pred", "_num_edges")
+    __slots__ = ("_succ", "_pred", "_num_edges", "_version", "__weakref__")
 
     def __init__(self, edges: Iterable[Edge] | None = None) -> None:
         self._succ: Dict[Node, Set[Node]] = {}
         self._pred: Dict[Node, Set[Node]] = {}
         self._num_edges = 0
+        self._version = 0
         if edges is not None:
             for source, target in edges:
                 self.add_edge(source, target)
+
+    def version(self) -> int:
+        """Mutation counter: bumped by every state-changing call.
+
+        Lets caches of derived products (e.g. the dispatch engine's
+        frozen-view cache) validate that the graph has not changed since the
+        product was built.
+        """
+        return self._version
 
     # ------------------------------------------------------------------
     # Node operations
@@ -62,6 +72,7 @@ class DiGraph:
         if node not in self._succ:
             self._succ[node] = set()
             self._pred[node] = set()
+            self._version += 1
 
     def remove_node(self, node: Node) -> None:
         """Remove ``node`` and every incident edge."""
@@ -78,6 +89,7 @@ class DiGraph:
         self._num_edges -= removed
         del self._succ[node]
         del self._pred[node]
+        self._version += 1
 
     def has_node(self, node: Node) -> bool:
         return node in self._succ
@@ -112,6 +124,7 @@ class DiGraph:
         self._succ[source].add(target)
         self._pred[target].add(source)
         self._num_edges += 1
+        self._version += 1
         return True
 
     def remove_edge(self, source: Node, target: Node) -> None:
@@ -122,6 +135,7 @@ class DiGraph:
         self._succ[source].discard(target)
         self._pred[target].discard(source)
         self._num_edges -= 1
+        self._version += 1
 
     def has_edge(self, source: Node, target: Node) -> bool:
         succ = self._succ.get(source)

@@ -25,9 +25,9 @@ Mutating methods raise :class:`~repro.graph.errors.FrozenGraphError`.
 The CSR arrays are exposed through documented accessors (``out_csr()``,
 ``undirected_csr()``, ``edge_arrays()``, ``*_degree_array()`` …) so the
 metrics layer can run vectorized numpy kernels instead of per-node Python
-loops; see :mod:`repro.metrics.degrees`, :mod:`repro.metrics.reciprocity`,
-:mod:`repro.metrics.joint_degree`, and :mod:`repro.algorithms.clustering`
-for the dispatch pattern.
+loops.  Backend selection lives in :mod:`repro.engine`: metric modules
+register frozen kernels against named operations and the engine dispatches
+to them whenever the input graph is one of the frozen classes below.
 
 Examples
 --------
@@ -832,6 +832,14 @@ class FrozenSAN:
             value = factory(self)
             self._derived[key] = value
             return value
+
+    def has_derived(self, key: str) -> bool:
+        """Whether ``derived(key, ...)`` has already been computed.
+
+        Lets kernels prefer an already-built product (e.g. an existing sparse
+        matrix) without forcing its construction for a small workload.
+        """
+        return key in self._derived
 
     @classmethod
     def from_san(cls, san: SAN) -> "FrozenSAN":

@@ -61,11 +61,15 @@ class SAN:
     ['employer:Google']
     """
 
-    __slots__ = ("social", "attributes")
+    __slots__ = ("social", "attributes", "__weakref__")
 
     def __init__(self) -> None:
         self.social = DiGraph()
         self.attributes = BipartiteAttributeGraph()
+
+    def version(self) -> int:
+        """Mutation counter over both layers (see :meth:`DiGraph.version`)."""
+        return self.social.version() + self.attributes.version()
 
     # ------------------------------------------------------------------
     # Node management

@@ -4,7 +4,8 @@ These extend the social metrics to attribute nodes: attribute density,
 attribute clustering coefficient, attribute degree distributions, plus helpers
 used by the Figure 9 and Figure 13b analyses.
 
-Every function accepts either SAN backend.  On a frozen backend
+Every function accepts either SAN backend and dispatches through the
+:mod:`repro.engine` registry.  On a frozen backend
 (:class:`~repro.graph.frozen.FrozenSAN`) the per-type aggregations run as
 ``np.bincount`` over the interned attribute-type codes and the top-k ranking
 as a stable ``argsort`` over the CSR degree array; the clustering-based
@@ -37,6 +38,7 @@ from ..algorithms.clustering import (
     clustering_by_degree,
     node_clustering_coefficient,
 )
+from ..engine import dispatchable, kernel
 from ..graph.frozen import FrozenSAN
 from ..graph.san import SAN
 from ..utils.rng import RngLike
@@ -83,6 +85,7 @@ def exact_attribute_clustering_coefficient(san: SANLike) -> float:
     return average_attribute_clustering_coefficient(san)
 
 
+@dispatchable("top_attribute_nodes")
 def top_attribute_nodes(
     san: SANLike, attr_type: Optional[str] = None, count: int = 10
 ) -> List[Tuple[Node, int]]:
@@ -90,20 +93,6 @@ def top_attribute_nodes(
 
     Ties are broken by attribute-node insertion order on both backends.
     """
-    if isinstance(san, FrozenSAN):
-        degrees = san.attributes.social_degree_array()
-        labels = san.attributes.attribute_labels()
-        if attr_type is None:
-            candidate_ids = np.arange(degrees.size, dtype=np.int64)
-        else:
-            type_names = san.attributes.type_names()
-            if attr_type not in type_names:
-                return []
-            code = type_names.index(attr_type)
-            candidate_ids = np.nonzero(san.attributes.type_codes() == code)[0]
-        order = np.argsort(-degrees[candidate_ids], kind="stable")
-        ranked_ids = candidate_ids[order[:count]]
-        return [(labels[i], int(degrees[i])) for i in ranked_ids]
     if attr_type is None:
         candidates = list(san.attribute_nodes())
     else:
@@ -116,14 +105,28 @@ def top_attribute_nodes(
     return ranked[:count]
 
 
+@kernel("top_attribute_nodes")
+def _top_attribute_nodes_frozen(
+    san: FrozenSAN, attr_type: Optional[str] = None, count: int = 10
+) -> List[Tuple[Node, int]]:
+    degrees = san.attributes.social_degree_array()
+    labels = san.attributes.attribute_labels()
+    if attr_type is None:
+        candidate_ids = np.arange(degrees.size, dtype=np.int64)
+    else:
+        type_names = san.attributes.type_names()
+        if attr_type not in type_names:
+            return []
+        code = type_names.index(attr_type)
+        candidate_ids = np.nonzero(san.attributes.type_codes() == code)[0]
+    order = np.argsort(-degrees[candidate_ids], kind="stable")
+    ranked_ids = candidate_ids[order[:count]]
+    return [(labels[i], int(degrees[i])) for i in ranked_ids]
+
+
+@dispatchable("attribute_type_counts")
 def attribute_type_counts(san: SANLike) -> Dict[str, int]:
     """Number of distinct attribute nodes per attribute type."""
-    if isinstance(san, FrozenSAN):
-        type_names = san.attributes.type_names()
-        counts = np.bincount(
-            san.attributes.type_codes(), minlength=len(type_names)
-        )
-        return _per_type_dict(san, type_names, counts)
     counts: Dict[str, int] = {}
     for node in san.attribute_nodes():
         attr_type = san.attribute_type(node)
@@ -131,21 +134,32 @@ def attribute_type_counts(san: SANLike) -> Dict[str, int]:
     return counts
 
 
+@kernel("attribute_type_counts")
+def _attribute_type_counts_frozen(san: FrozenSAN) -> Dict[str, int]:
+    type_names = san.attributes.type_names()
+    counts = np.bincount(san.attributes.type_codes(), minlength=len(type_names))
+    return _per_type_dict(san, type_names, counts)
+
+
+@dispatchable("attribute_link_counts_by_type")
 def attribute_link_counts_by_type(san: SANLike) -> Dict[str, int]:
     """Number of attribute links per attribute type."""
-    if isinstance(san, FrozenSAN):
-        type_names = san.attributes.type_names()
-        link_counts = np.bincount(
-            san.attributes.type_codes(),
-            weights=san.attributes.social_degree_array(),
-            minlength=len(type_names),
-        )
-        return _per_type_dict(san, type_names, link_counts, skip_zero=True)
     counts: Dict[str, int] = {}
     for _, attribute in san.attribute_edges():
         attr_type = san.attribute_type(attribute)
         counts[attr_type] = counts.get(attr_type, 0) + 1
     return counts
+
+
+@kernel("attribute_link_counts_by_type")
+def _attribute_link_counts_by_type_frozen(san: FrozenSAN) -> Dict[str, int]:
+    type_names = san.attributes.type_names()
+    link_counts = np.bincount(
+        san.attributes.type_codes(),
+        weights=san.attributes.social_degree_array(),
+        minlength=len(type_names),
+    )
+    return _per_type_dict(san, type_names, link_counts, skip_zero=True)
 
 
 def _per_type_dict(

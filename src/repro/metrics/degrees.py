@@ -8,10 +8,12 @@ Four degree notions appear in the paper:
 * social degree of attribute nodes — how many users hold an attribute
   (Figure 10b, power-law).
 
-Every public function accepts either backend of the SAN: the mutable
-:class:`~repro.graph.san.SAN` (per-node dict/set code) or the frozen
-:class:`~repro.graph.frozen.FrozenSAN`, for which the degree sequences are
-read straight off the CSR ``indptr`` arrays in one vectorized operation.
+Every public function accepts either backend of the SAN and routes through
+the :mod:`repro.engine` kernel registry: on the mutable
+:class:`~repro.graph.san.SAN` the portable per-node implementation runs; on
+the frozen :class:`~repro.graph.frozen.FrozenSAN` the registered kernels read
+the degree sequences straight off the CSR ``indptr`` arrays in one vectorized
+operation.
 
 Examples
 --------
@@ -27,6 +29,7 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, List, Tuple, Union
 
+from ..engine import dispatchable, kernel
 from ..graph.frozen import FrozenSAN
 from ..graph.san import SAN
 from ..utils.stats import empirical_pmf, log_binned_histogram
@@ -35,39 +38,59 @@ Node = Hashable
 SANLike = Union[SAN, FrozenSAN]
 
 
+@dispatchable("social_out_degrees")
 def social_out_degrees(san: SANLike) -> List[int]:
     """Out-degree of every social node (in social-node iteration order)."""
-    if isinstance(san, FrozenSAN):
-        return san.social.out_degree_array().tolist()
     return [san.social_out_degree(node) for node in san.social_nodes()]
 
 
+@kernel("social_out_degrees")
+def _social_out_degrees_frozen(san: FrozenSAN) -> List[int]:
+    return san.social.out_degree_array().tolist()
+
+
+@dispatchable("social_in_degrees")
 def social_in_degrees(san: SANLike) -> List[int]:
     """In-degree of every social node (in social-node iteration order)."""
-    if isinstance(san, FrozenSAN):
-        return san.social.in_degree_array().tolist()
     return [san.social_in_degree(node) for node in san.social_nodes()]
 
 
+@kernel("social_in_degrees")
+def _social_in_degrees_frozen(san: FrozenSAN) -> List[int]:
+    return san.social.in_degree_array().tolist()
+
+
+@dispatchable("social_total_degrees")
 def social_total_degrees(san: SANLike) -> List[int]:
     """Number of distinct social neighbors of every social node."""
-    if isinstance(san, FrozenSAN):
-        return san.social.undirected_degree_array().tolist()
     return [len(san.social.neighbors(node)) for node in san.social_nodes()]
 
 
+@kernel("social_total_degrees")
+def _social_total_degrees_frozen(san: FrozenSAN) -> List[int]:
+    return san.social.undirected_degree_array().tolist()
+
+
+@dispatchable("attribute_degrees_of_social_nodes")
 def attribute_degrees_of_social_nodes(san: SANLike) -> List[int]:
     """Attribute degree (number of declared attributes) of every social node."""
-    if isinstance(san, FrozenSAN):
-        return san.attributes.attribute_degree_array().tolist()
     return [san.attribute_degree(node) for node in san.social_nodes()]
 
 
+@kernel("attribute_degrees_of_social_nodes")
+def _attribute_degrees_frozen(san: FrozenSAN) -> List[int]:
+    return san.attributes.attribute_degree_array().tolist()
+
+
+@dispatchable("social_degrees_of_attribute_nodes")
 def social_degrees_of_attribute_nodes(san: SANLike) -> List[int]:
     """Social degree (number of members) of every attribute node."""
-    if isinstance(san, FrozenSAN):
-        return san.attributes.social_degree_array().tolist()
     return [san.attribute_social_degree(node) for node in san.attribute_nodes()]
+
+
+@kernel("social_degrees_of_attribute_nodes")
+def _social_degrees_of_attributes_frozen(san: FrozenSAN) -> List[int]:
+    return san.attributes.social_degree_array().tolist()
 
 
 def degree_distribution(degrees: List[int]) -> Dict[int, float]:
@@ -102,6 +125,7 @@ def degree_summary(san: SANLike) -> Dict[str, float]:
     }
 
 
+@dispatchable("out_degrees_for_attribute_value")
 def out_degrees_for_attribute_value(san: SANLike, attribute_node: Node) -> List[int]:
     """Social out-degrees of the users holding a specific attribute node.
 
@@ -109,10 +133,17 @@ def out_degrees_for_attribute_value(san: SANLike, attribute_node: Node) -> List[
     """
     if not san.is_attribute_node(attribute_node):
         return []
-    if isinstance(san, FrozenSAN):
-        members = san.attributes.member_indices_of(attribute_node)
-        return san.social.out_degree_array()[members].tolist()
     return [
         san.social_out_degree(member)
         for member in san.attributes.members_of(attribute_node)
     ]
+
+
+@kernel("out_degrees_for_attribute_value")
+def _out_degrees_for_attribute_value_frozen(
+    san: FrozenSAN, attribute_node: Node
+) -> List[int]:
+    if not san.is_attribute_node(attribute_node):
+        return []
+    members = san.attributes.member_indices_of(attribute_node)
+    return san.social.out_degree_array()[members].tolist()

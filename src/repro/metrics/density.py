@@ -9,10 +9,10 @@ ratio, not the graph-theoretic edge fraction:
 
 from __future__ import annotations
 
-from ..graph.san import SAN
+from ..graph.protocol import SANView
 
 
-def social_density(san: SAN) -> float:
+def social_density(san: SANView) -> float:
     """Directed social links per social node (``|E_s| / |V_s|``)."""
     nodes = san.number_of_social_nodes()
     if nodes == 0:
@@ -20,7 +20,7 @@ def social_density(san: SAN) -> float:
     return san.number_of_social_edges() / nodes
 
 
-def attribute_density(san: SAN) -> float:
+def attribute_density(san: SANView) -> float:
     """Attribute links per attribute node (``|E_a| / |V_a|``)."""
     nodes = san.number_of_attribute_nodes()
     if nodes == 0:
@@ -28,7 +28,7 @@ def attribute_density(san: SAN) -> float:
     return san.number_of_attribute_edges() / nodes
 
 
-def graph_theoretic_social_density(san: SAN) -> float:
+def graph_theoretic_social_density(san: SANView) -> float:
     """Fraction of existing directed links among all possible ordered pairs.
 
     Provided for comparison with the classical definition the paper's footnote
@@ -40,7 +40,7 @@ def graph_theoretic_social_density(san: SAN) -> float:
     return san.number_of_social_edges() / (nodes * (nodes - 1))
 
 
-def attribute_declaration_fraction(san: SAN) -> float:
+def attribute_declaration_fraction(san: SANView) -> float:
     """Fraction of social nodes declaring at least one attribute.
 
     The paper reports roughly 22% for Google+ (Section 2.2).

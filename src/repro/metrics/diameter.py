@@ -5,6 +5,10 @@ percentile of directed pairwise distances, approximated with HyperANF.  The
 attribute diameter (Section 4.1) applies the same percentile to attribute
 distances — one plus the minimum social distance between members of two
 attribute nodes — estimated by sampling attribute-node pairs.
+
+Every function accepts either SAN backend: the underlying HyperANF iteration
+and BFS sweeps dispatch through the :mod:`repro.engine` registry, so a frozen
+input runs the register-matrix / frontier-array kernels on its social CSR.
 """
 
 from __future__ import annotations
@@ -17,12 +21,12 @@ from ..algorithms.traversal import (
     sample_attribute_distance_distribution,
     sample_distance_distribution,
 )
-from ..graph.san import SAN
+from ..graph.protocol import SANView
 from ..utils.rng import RngLike
 
 
 def social_effective_diameter(
-    san: SAN,
+    san: SANView,
     method: str = "hyperanf",
     precision: int = 7,
     quantile: float = 0.9,
@@ -47,7 +51,7 @@ def social_effective_diameter(
 
 
 def attribute_effective_diameter(
-    san: SAN,
+    san: SANView,
     num_pairs: int = 100,
     quantile: float = 0.9,
     rng: RngLike = None,
@@ -61,7 +65,7 @@ def attribute_effective_diameter(
 
 
 def distance_distribution(
-    san: SAN, num_sources: int = 200, rng: RngLike = None
+    san: SANView, num_sources: int = 200, rng: RngLike = None
 ) -> Dict[int, int]:
     """Sampled histogram of directed social distances (Section 3.3 text).
 

@@ -11,11 +11,12 @@ social members of attribute nodes with ``k`` members, and the attribute
 assortativity is the Pearson correlation of (social degree of the attribute
 node, attribute degree of the member) over attribute links.
 
-On a frozen backend (:class:`~repro.graph.frozen.FrozenSAN`) every function
-here is fully vectorized: per-node neighbor sums come from a cumulative-sum
-difference over the CSR ``indices`` array, per-degree averages from
-``np.bincount``, and the assortativity coefficients from degree arrays
-indexed by the CSR edge list.
+Every function dispatches through the :mod:`repro.engine` registry: on a
+frozen backend (:class:`~repro.graph.frozen.FrozenSAN`) the registered
+kernels are fully vectorized — per-node neighbor sums come from a
+cumulative-sum difference over the CSR ``indices`` array, per-degree
+averages from ``np.bincount``, and the assortativity coefficients from
+degree arrays indexed by the CSR edge list.
 
 Examples
 --------
@@ -34,6 +35,7 @@ from typing import Dict, Hashable, List, Tuple, Union
 
 import numpy as np
 
+from ..engine import dispatchable, kernel
 from ..graph.frozen import FrozenSAN
 from ..graph.san import SAN
 
@@ -41,13 +43,9 @@ Node = Hashable
 SANLike = Union[SAN, FrozenSAN]
 
 
+@dispatchable("social_knn")
 def social_knn(san: SANLike) -> List[Tuple[int, float]]:
     """Average in-degree of out-neighbors as a function of out-degree (Figure 7a)."""
-    if isinstance(san, FrozenSAN):
-        indptr, indices = san.social.out_csr()
-        out_degrees = san.social.out_degree_array()
-        neighbor_in_degrees = san.social.in_degree_array()[indices]
-        return _knn_curve(indptr, out_degrees, neighbor_in_degrees)
     sums: Dict[int, float] = {}
     counts: Dict[int, int] = {}
     for node in san.social_nodes():
@@ -64,6 +62,15 @@ def social_knn(san: SANLike) -> List[Tuple[int, float]]:
     return sorted((degree, sums[degree] / counts[degree]) for degree in sums)
 
 
+@kernel("social_knn")
+def _social_knn_frozen(san: FrozenSAN) -> List[Tuple[int, float]]:
+    indptr, indices = san.social.out_csr()
+    out_degrees = san.social.out_degree_array()
+    neighbor_in_degrees = san.social.in_degree_array()[indices]
+    return _knn_curve(indptr, out_degrees, neighbor_in_degrees)
+
+
+@dispatchable("social_assortativity")
 def social_assortativity(san: SANLike) -> float:
     """Degree assortativity over directed social links (Figure 7b).
 
@@ -71,12 +78,6 @@ def social_assortativity(san: SANLike) -> float:
     and the in-degree of the target over all directed links — the directed
     analogue used for publisher/subscriber style networks.
     """
-    if isinstance(san, FrozenSAN):
-        sources, targets = san.social.edge_arrays()
-        return _pearson_arrays(
-            san.social.out_degree_array()[sources],
-            san.social.in_degree_array()[targets],
-        )
     xs: List[float] = []
     ys: List[float] = []
     for source, target in san.social_edges():
@@ -85,18 +86,22 @@ def social_assortativity(san: SANLike) -> float:
     return _pearson(xs, ys)
 
 
+@kernel("social_assortativity")
+def _social_assortativity_frozen(san: FrozenSAN) -> float:
+    sources, targets = san.social.edge_arrays()
+    return _pearson_arrays(
+        san.social.out_degree_array()[sources],
+        san.social.in_degree_array()[targets],
+    )
+
+
+@dispatchable("undirected_degree_assortativity")
 def undirected_degree_assortativity(san: SANLike) -> float:
     """Assortativity of total (undirected) social degree across links.
 
     Provided as the classical Newman coefficient for comparison against the
     Flickr / LiveJournal / Orkut values the paper cites.
     """
-    if isinstance(san, FrozenSAN):
-        sources, targets = san.social.edge_arrays()
-        undirected_degrees = san.social.undirected_degree_array()
-        return _pearson_arrays(
-            undirected_degrees[sources], undirected_degrees[targets]
-        )
     xs: List[float] = []
     ys: List[float] = []
     for source, target in san.social_edges():
@@ -105,6 +110,14 @@ def undirected_degree_assortativity(san: SANLike) -> float:
     return _pearson(xs, ys)
 
 
+@kernel("undirected_degree_assortativity")
+def _undirected_degree_assortativity_frozen(san: FrozenSAN) -> float:
+    sources, targets = san.social.edge_arrays()
+    undirected_degrees = san.social.undirected_degree_array()
+    return _pearson_arrays(undirected_degrees[sources], undirected_degrees[targets])
+
+
+@dispatchable("attribute_knn")
 def attribute_knn(san: SANLike) -> List[Tuple[int, float]]:
     """Attribute-node knn (Figure 12a).
 
@@ -112,11 +125,6 @@ def attribute_knn(san: SANLike) -> List[Tuple[int, float]]:
     average attribute degree of the members of attribute nodes having exactly
     ``k`` members.
     """
-    if isinstance(san, FrozenSAN):
-        indptr, indices = san.attributes.attr_to_social_csr()
-        member_counts = san.attributes.social_degree_array()
-        member_attr_degrees = san.attributes.attribute_degree_array()[indices]
-        return _knn_curve(indptr, member_counts, member_attr_degrees)
     sums: Dict[int, float] = {}
     counts: Dict[int, int] = {}
     for attribute in san.attribute_nodes():
@@ -132,28 +140,40 @@ def attribute_knn(san: SANLike) -> List[Tuple[int, float]]:
     return sorted((degree, sums[degree] / counts[degree]) for degree in sums)
 
 
+@kernel("attribute_knn")
+def _attribute_knn_frozen(san: FrozenSAN) -> List[Tuple[int, float]]:
+    indptr, indices = san.attributes.attr_to_social_csr()
+    member_counts = san.attributes.social_degree_array()
+    member_attr_degrees = san.attributes.attribute_degree_array()[indices]
+    return _knn_curve(indptr, member_counts, member_attr_degrees)
+
+
+@dispatchable("attribute_assortativity")
 def attribute_assortativity(san: SANLike) -> float:
     """Attribute assortativity coefficient (Figure 12b).
 
     Pearson correlation over attribute links between the social degree of the
     attribute endpoint and the attribute degree of the social endpoint.
     """
-    if isinstance(san, FrozenSAN):
-        sa_indptr, sa_indices = san.attributes.social_to_attr_csr()
-        social_sources = np.repeat(
-            np.arange(san.number_of_social_nodes(), dtype=np.int64),
-            np.diff(sa_indptr),
-        )
-        return _pearson_arrays(
-            san.attributes.social_degree_array()[sa_indices],
-            san.attributes.attribute_degree_array()[social_sources],
-        )
     xs: List[float] = []
     ys: List[float] = []
     for social, attribute in san.attribute_edges():
         xs.append(float(san.attribute_social_degree(attribute)))
         ys.append(float(san.attribute_degree(social)))
     return _pearson(xs, ys)
+
+
+@kernel("attribute_assortativity")
+def _attribute_assortativity_frozen(san: FrozenSAN) -> float:
+    sa_indptr, sa_indices = san.attributes.social_to_attr_csr()
+    social_sources = np.repeat(
+        np.arange(san.number_of_social_nodes(), dtype=np.int64),
+        np.diff(sa_indptr),
+    )
+    return _pearson_arrays(
+        san.attributes.social_degree_array()[sa_indices],
+        san.attributes.attribute_degree_array()[social_sources],
+    )
 
 
 def _knn_curve(

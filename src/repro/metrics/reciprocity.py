@@ -31,6 +31,7 @@ from typing import Dict, Hashable, List, Optional, Tuple, Union
 
 import numpy as np
 
+from ..engine import dispatchable, kernel
 from ..graph.frozen import FrozenSAN
 from ..graph.san import SAN
 
@@ -44,28 +45,9 @@ def global_reciprocity(san: SANLike) -> float:
     return mutual / total if total else 0.0
 
 
+@dispatchable("reciprocal_edge_count")
 def reciprocal_edge_count(san: SANLike) -> Tuple[int, int]:
     """Return ``(mutual_links, total_links)`` over the directed social layer."""
-    if isinstance(san, FrozenSAN):
-        total = san.social.number_of_edges()
-        if total == 0:
-            return 0, 0
-        sources, targets = san.social.edge_arrays()
-        loops_per_node = np.bincount(
-            sources[sources == targets], minlength=san.social.number_of_nodes()
-        )
-        num_loops = int(loops_per_node.sum())
-        # Per node: |succ ∩ pred| = |succ| + |pred| - |succ ∪ pred|, with the
-        # union degree read off the undirected CSR (which drops self-loops).
-        mutual = int(
-            (
-                san.social.out_degree_array()
-                + san.social.in_degree_array()
-                - 2 * loops_per_node
-                - san.social.undirected_degree_array()
-            ).sum()
-        )
-        return mutual + num_loops, total
     total = 0
     mutual = 0
     for source, target in san.social_edges():
@@ -73,6 +55,29 @@ def reciprocal_edge_count(san: SANLike) -> Tuple[int, int]:
         if san.social.has_edge(target, source):
             mutual += 1
     return mutual, total
+
+
+@kernel("reciprocal_edge_count")
+def _reciprocal_edge_count_frozen(san: FrozenSAN) -> Tuple[int, int]:
+    total = san.social.number_of_edges()
+    if total == 0:
+        return 0, 0
+    sources, targets = san.social.edge_arrays()
+    loops_per_node = np.bincount(
+        sources[sources == targets], minlength=san.social.number_of_nodes()
+    )
+    num_loops = int(loops_per_node.sum())
+    # Per node: |succ ∩ pred| = |succ| + |pred| - |succ ∪ pred|, with the
+    # union degree read off the undirected CSR (which drops self-loops).
+    mutual = int(
+        (
+            san.social.out_degree_array()
+            + san.social.in_degree_array()
+            - 2 * loops_per_node
+            - san.social.undirected_degree_array()
+        ).sum()
+    )
+    return mutual + num_loops, total
 
 
 @dataclass

@@ -103,3 +103,37 @@ def test_generate_with_reference_and_ablations(tmp_path, capsys, tiny_final_san)
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_report_runs_frozen_battery(tmp_path, capsys, figure1_san):
+    social = tmp_path / "social.tsv"
+    attrs = tmp_path / "attrs.tsv"
+    save_san_tsv(figure1_san, social, attrs)
+    out_file = tmp_path / "report.txt"
+    exit_code = main(
+        [
+            "report",
+            "--social", str(social),
+            "--attributes", str(attrs),
+            "--no-diameter",
+            "--out", str(out_file),
+        ]
+    )
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "frozen once" in output
+    for key in ("reciprocity", "exact_social_clustering", "triangles", "wcc_count"):
+        assert key in output
+    assert out_file.read_text().strip() in output
+
+
+def test_help_documents_frozen_and_report(capsys):
+    with pytest.raises(SystemExit):
+        main(["--help"])
+    assert "report" in capsys.readouterr().out
+    with pytest.raises(SystemExit):
+        main(["measure", "--help"])
+    assert "--frozen" in capsys.readouterr().out
+    with pytest.raises(SystemExit):
+        main(["report", "--help"])
+    assert "freeze the SAN once" in capsys.readouterr().out

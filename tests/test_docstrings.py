@@ -14,6 +14,7 @@ import pytest
 
 import repro.algorithms.clustering
 import repro.algorithms.triangles
+import repro.engine.registry
 import repro.graph.bipartite
 import repro.graph.digraph
 import repro.graph.frozen
@@ -38,6 +39,7 @@ AUDITED_MODULES = [
     repro.metrics.attribute_metrics,
     repro.algorithms.clustering,
     repro.algorithms.triangles,
+    repro.engine.registry,
 ]
 
 

@@ -268,18 +268,18 @@ class TestTriangleParity:
 class TestNoScipyFallbacks:
     """The frozen kernels must stay correct when scipy is unavailable.
 
-    With scipy installed the sparse branches shadow the batched-numpy
-    fallbacks, so these tests force ``_sparse = None`` to exercise the
-    fallback code paths against the mutable ground truth.
+    With scipy installed the sparse kernels shadow the batched-numpy
+    fallbacks, so these tests disable scipy through the engine's dependency
+    gate (``REPRO_NO_SCIPY``, checked at dispatch time) to exercise the
+    fallback kernels against the mutable ground truth.
     """
 
     @pytest.fixture(autouse=True)
     def without_scipy(self, monkeypatch):
-        import repro.algorithms.clustering as clustering_module
-        import repro.algorithms.triangles as triangles_module
+        from repro.engine import deps
 
-        monkeypatch.setattr(clustering_module, "_sparse", None)
-        monkeypatch.setattr(triangles_module, "_sparse", None)
+        monkeypatch.setenv(deps.DISABLE_ENV_VAR, "1")
+        assert not deps.have_scipy()
 
     def test_clustering_fallbacks(self, san_pair):
         for san, frozen in san_pair:
