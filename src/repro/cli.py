@@ -35,7 +35,7 @@ from .crawler import crawl_evolution
 from .graph import SAN, load_san_tsv, save_san_tsv
 from .metrics import format_report, frozen_san_report, san_metric_report
 from .metrics.evolution import PhaseBoundaries
-from .models import SANModelParameters, estimate_parameters, generate_san
+from .models import SANModelParameters, estimate_parameters, san_generate
 from .synthetic import GooglePlusConfig, build_workload, standard_snapshot_days
 
 
@@ -102,6 +102,14 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--reference-attributes", default=None)
     generate.add_argument("--no-lapa", action="store_true", help="ablation: classical PA instead of LAPA")
     generate.add_argument("--no-focal-closure", action="store_true", help="ablation: RR instead of RR-SAN")
+    generate.add_argument(
+        "--engine",
+        choices=["auto", "vectorized", "loop"],
+        default="auto",
+        help="generation engine: the array-backed vectorized engine, the "
+        "reference per-node loop, or auto (vectorized whenever its "
+        "alpha = 1 requirement holds)",
+    )
     generate.add_argument("--out-prefix", required=True)
 
     return parser
@@ -189,7 +197,7 @@ def _command_generate(args: argparse.Namespace) -> int:
         params = replace(params, use_lapa=False)
     if args.no_focal_closure:
         params = replace(params, use_focal_closure=False)
-    run = generate_san(params, rng=args.seed, record_history=False)
+    run = san_generate(params, rng=args.seed, engine=args.engine)
     print(f"generated {run.san!r}")
     _save(run.san, args.out_prefix)
     return 0

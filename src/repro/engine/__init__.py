@@ -28,6 +28,7 @@ from .registry import (
     list_ops,
     register,
     resolve,
+    select,
 )
 
 __all__ = [
@@ -50,4 +51,5 @@ __all__ = [
     "list_ops",
     "register",
     "resolve",
+    "select",
 ]

@@ -82,6 +82,26 @@ def build_csr(rows: List[Iterable[int]]) -> Tuple[np.ndarray, np.ndarray]:
     return indptr, indices
 
 
+def csr_from_edge_arrays(
+    src: np.ndarray, dst: np.ndarray, num_rows: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Pack parallel edge arrays into sorted-row CSR form, fully vectorized.
+
+    ``src``/``dst`` list one directed edge per position (duplicates are the
+    caller's responsibility — the generative engines emit deduplicated edge
+    streams).  Unlike :func:`build_csr` this never loops in Python, so it is
+    the builder of choice when the adjacency already lives in numpy arrays
+    (delta-snapshot materialization, event-log replays).
+    """
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    counts = np.bincount(src, minlength=num_rows).astype(np.int64)
+    indptr = np.zeros(num_rows + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    order = np.lexsort((dst, src))
+    return indptr, dst[order]
+
+
 def gather_rows(
     indptr: np.ndarray, indices: np.ndarray, rows: np.ndarray
 ) -> Tuple[np.ndarray, np.ndarray]:
@@ -207,6 +227,22 @@ class FrozenDiGraph:
         out_indptr, out_indices = build_csr(out_rows)
         in_indptr, in_indices = build_csr(in_rows)
         return cls(labels, out_indptr, out_indices, in_indptr, in_indices, index=index)
+
+    @classmethod
+    def from_edge_arrays(
+        cls, labels: List[Node], src: np.ndarray, dst: np.ndarray
+    ) -> "FrozenDiGraph":
+        """Build a frozen graph straight from compact-id edge arrays.
+
+        ``src[k] -> dst[k]`` are the directed edges as ids into ``labels``;
+        edges must be unique (no dedup is performed).  Both CSR directions are
+        assembled with vectorized sorts — no per-node Python loop — which is
+        what makes materializing a snapshot from an append-only edge log cheap.
+        """
+        num_nodes = len(labels)
+        out_indptr, out_indices = csr_from_edge_arrays(src, dst, num_nodes)
+        in_indptr, in_indices = csr_from_edge_arrays(dst, src, num_nodes)
+        return cls(labels, out_indptr, out_indices, in_indptr, in_indices)
 
     # ------------------------------------------------------------------
     # Compact-id / array accessors (the vectorized-kernel API)
@@ -849,6 +885,47 @@ class FrozenSAN:
             san.attributes,
             social_labels=social.labels(),
             social_index=social._index,  # share, don't rebuild
+        )
+        return cls(social, attributes)
+
+    @classmethod
+    def from_edge_arrays(
+        cls,
+        social_labels: List[Node],
+        social_src: np.ndarray,
+        social_dst: np.ndarray,
+        attr_labels: List[Node],
+        attr_info: List[AttributeInfo],
+        link_social: np.ndarray,
+        link_attr: np.ndarray,
+    ) -> "FrozenSAN":
+        """Materialize a FrozenSAN from compact-id edge arrays in one pass.
+
+        ``social_src/social_dst`` are the directed social edges and
+        ``link_social/link_attr`` the attribute links, all as ids into
+        ``social_labels`` / ``attr_labels``; every edge must be unique.  This
+        is the delta-snapshot entry point: the generative engines keep
+        append-only edge arrays and call this with array *prefixes* to
+        reconstruct the network as of any recorded watermark, instead of
+        deep-copying the mutable SAN at every snapshot.
+        """
+        social = FrozenDiGraph.from_edge_arrays(social_labels, social_src, social_dst)
+        num_attrs = len(attr_labels)
+        sa_indptr, sa_indices = csr_from_edge_arrays(
+            link_social, link_attr, len(social_labels)
+        )
+        as_indptr, as_indices = csr_from_edge_arrays(
+            link_attr, link_social, num_attrs
+        )
+        attributes = FrozenBipartiteAttributeGraph(
+            social.labels(),
+            social._index,
+            list(attr_labels),
+            list(attr_info),
+            sa_indptr,
+            sa_indices,
+            as_indptr,
+            as_indices,
         )
         return cls(social, attributes)
 

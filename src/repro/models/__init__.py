@@ -11,6 +11,15 @@ from .attachment import (
     shared_attribute_count,
 )
 from .estimation import EstimationResult, estimate_parameters, greedy_refine
+from .fast_sim import (
+    LOOP_ENGINE,
+    SAN_GENERATE_OP,
+    VECTORIZED_ENGINE,
+    FastSANModelRun,
+    SnapshotMark,
+    generate_san_fast,
+    san_generate,
+)
 from .history import ArrivalEvent, ArrivalHistory, apply_event
 from .kim_leskovec import expected_degree, generate_mag_san
 from .lifetime import (
@@ -64,6 +73,13 @@ __all__ = [
     "EstimationResult",
     "estimate_parameters",
     "greedy_refine",
+    "LOOP_ENGINE",
+    "SAN_GENERATE_OP",
+    "VECTORIZED_ENGINE",
+    "FastSANModelRun",
+    "SnapshotMark",
+    "generate_san_fast",
+    "san_generate",
     "ArrivalEvent",
     "ArrivalHistory",
     "apply_event",

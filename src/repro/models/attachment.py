@@ -35,6 +35,12 @@ from .parameters import AttachmentParameters
 
 Node = Hashable
 
+#: Bounded rejection retries used when a sampled LAPA candidate is excluded
+#: (the source itself).  Shared with the vectorized engine in
+#: :mod:`repro.models.fast_sim` so both samplers realise the same
+#: bounded-retry distribution.
+LAPA_MAX_RETRIES = 20
+
 
 class AttachmentModel:
     """Base class: a weight function over (source, target) social node pairs."""
@@ -165,7 +171,7 @@ def sample_lapa_target_fast(
     in_degree_pool: Optional[Sequence[Node]] = None,
     node_pool: Optional[Sequence[Node]] = None,
     exclude: Optional[Iterable[Node]] = None,
-    max_retries: int = 20,
+    max_retries: int = LAPA_MAX_RETRIES,
 ) -> Optional[Node]:
     """Draw from the exact LAPA distribution without scanning every node.
 

@@ -1,0 +1,717 @@
+"""Vectorized simulation engine for Algorithm 1 (the ``"vectorized"`` backend).
+
+The loop engine in :mod:`repro.models.san_model` mutates a dict-of-sets SAN
+one edge at a time and pays an O(V + E) ``san.copy()`` per snapshot; its LAPA
+sampler additionally scans every member of the source's attribute communities
+per draw.  This module reimplements the same stochastic process on flat
+array-backed state so a 50k+-step run is dominated by O(1) bookkeeping:
+
+* **Array pools** — the in-degree preferential-attachment pool *is* the
+  append-only edge-target array (one entry per incoming link), and the
+  attribute PA pool is the attribute-link target array, both stored in
+  :class:`GrowableIntArray` buffers with amortized-doubling growth.
+* **Batched draws** — lognormal attribute degrees, truncated-normal lifetimes
+  and exponential sleep times are drawn in numpy blocks
+  (:class:`_BlockSampler`) and consumed as scalars, instead of one
+  transcendental call per event.
+* **O(1) LAPA sampling** — the exact ``alpha = 1`` decomposition
+  ``f(u, v) = (d_i(v) + s) + beta * a(u, v) * (d_i(v) + s)`` is sampled by
+  component: the degree part from the edge-target pool, the attribute part by
+  first picking one of ``u``'s attributes proportional to its maintained mass
+  ``w_A * (S_A + s |A|)`` (``S_A`` = total member in-degree, tracked
+  incrementally) and then a member proportional to ``d_i(v) + s`` from
+  per-attribute pools — never scanning a community.
+* **Bucketed wake queue** — wake events live in per-step buckets (the integer
+  ceiling of the continuous wake time) and are processed in batches, with
+  intra-step re-wakes looping until the step drains, exactly like the loop
+  engine's heap condition ``wake_time <= step``.
+* **Delta snapshots** — ``snapshot_every`` records only
+  :class:`SnapshotMark` watermarks (node/edge counts) over the append-only
+  arrays; :meth:`FastSANModelRun.frozen_at` materializes a
+  :class:`~repro.graph.frozen.FrozenSAN` from array *prefixes* on demand, so
+  a 100k-step run with 20 snapshots costs one generation pass, not 20 deep
+  copies.
+
+Both engines are registered with the dispatch engine under the
+``"san_generate"`` operation (backends ``"loop"`` and ``"vectorized"``);
+:func:`san_generate` is the public entry point that routes between them.  The
+engines do not share a random stream — equality is distributional, enforced
+by the KS parity gate in ``tests/test_models_fast_sim.py``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..engine import registry as engine_registry
+from ..graph.bipartite import AttributeInfo
+from ..graph.builders import complete_seed_san
+from ..graph.frozen import FrozenSAN
+from ..graph.san import SAN
+from ..utils.rng import RngLike, ensure_rng
+from .attachment import LAPA_MAX_RETRIES
+from .history import ArrivalEvent, ArrivalHistory
+from .lifetime import truncated_normal_block
+from .parameters import SANModelParameters
+from .san_model import ATTRIBUTE_LINK_RETRIES, SANGenerativeModel, SANModelRun
+from .triangle_closing import CLOSURE_SAMPLE_TRIES
+
+#: Operation name under which both generative engines are registered.
+SAN_GENERATE_OP = "san_generate"
+#: Backend names of the two engines.
+LOOP_ENGINE = "loop"
+VECTORIZED_ENGINE = "vectorized"
+
+#: Event-log kind codes (compact tuples, decoded on ``history()`` access).
+_EVENT_NODE = 0
+_EVENT_ATTRIBUTE = 1
+_EVENT_SOCIAL = 2
+
+
+class GrowableIntArray:
+    """An int64 numpy buffer with amortized-doubling append/extend.
+
+    The live prefix (``view()``) is always contiguous, which is what lets the
+    pools double as uniform-sampling targets and the snapshot materializer
+    slice edge prefixes without copying per snapshot.
+    """
+
+    __slots__ = ("data", "size")
+
+    def __init__(self, capacity: int = 1024) -> None:
+        self.data = np.empty(max(capacity, 16), dtype=np.int64)
+        self.size = 0
+
+    def append(self, value: int) -> None:
+        data = self.data
+        size = self.size
+        if size == data.shape[0]:
+            data = self._grow(size + 1)
+        data[size] = value
+        self.size = size + 1
+
+    def _grow(self, needed: int) -> np.ndarray:
+        capacity = self.data.shape[0]
+        while capacity < needed:
+            capacity *= 2
+        fresh = np.empty(capacity, dtype=np.int64)
+        fresh[: self.size] = self.data[: self.size]
+        self.data = fresh
+        return fresh
+
+    def view(self) -> np.ndarray:
+        """The live prefix (a view into the growth buffer — copy to keep)."""
+        return self.data[: self.size]
+
+    def __len__(self) -> int:
+        return self.size
+
+
+class _BlockSampler:
+    """Batched numpy draws consumed as Python scalars.
+
+    Each distribution keeps a pre-generated block (converted with
+    ``tolist()`` so the hot loop pops native floats, not numpy scalars) that
+    is refilled with one vectorized call when exhausted.  Lifetimes use
+    :func:`~repro.models.lifetime.truncated_normal_block`, so the rejection
+    step is vectorized too.
+    """
+
+    __slots__ = ("_generator", "_block", "_lognormal", "_exponential", "_lifetime", "_params")
+
+    def __init__(self, generator: np.random.Generator, params: SANModelParameters, block: int = 4096) -> None:
+        self._generator = generator
+        self._block = block
+        self._params = params
+        self._lognormal: List[float] = []
+        self._exponential: List[float] = []
+        self._lifetime: List[float] = []
+
+    def attribute_degree(self) -> int:
+        """One rounded lognormal attribute-degree draw."""
+        stack = self._lognormal
+        if not stack:
+            params = self._params
+            draws = self._generator.lognormal(
+                params.attribute_mu, params.attribute_sigma, self._block
+            )
+            # np.rint matches the loop engine's round-half-to-even int(round()).
+            stack.extend(np.rint(draws).astype(np.int64).tolist())
+        return stack.pop()
+
+    def standard_exponential(self) -> float:
+        """One Exp(1) draw; callers scale by the sleep mean."""
+        stack = self._exponential
+        if not stack:
+            stack.extend(self._generator.standard_exponential(self._block).tolist())
+        return stack.pop()
+
+    def lifetime(self) -> float:
+        """One truncated-normal lifetime draw."""
+        stack = self._lifetime
+        if not stack:
+            stack.extend(
+                truncated_normal_block(
+                    self._params.lifetime, self._generator, self._block
+                ).tolist()
+            )
+        return stack.pop()
+
+
+@dataclass(frozen=True)
+class SnapshotMark:
+    """Watermark over the append-only arrays: the network as of ``step``.
+
+    Materializing the snapshot only needs the prefix lengths — the arrays
+    themselves are shared with the final state, which is what makes a
+    snapshot O(0) to *record* and one vectorized pass to *materialize*.
+    """
+
+    step: int
+    num_social_nodes: int
+    num_social_edges: int
+    num_attribute_nodes: int
+    num_attribute_edges: int
+
+
+@dataclass
+class FastSANModelRun:
+    """Output of one vectorized-engine run.
+
+    The network lives in compact edge arrays (social node ``i`` is the label
+    ``i``; attribute ids index ``attribute_labels``).  ``san`` materializes
+    the final :class:`~repro.graph.frozen.FrozenSAN` on first access;
+    ``snapshots`` materializes one frozen view per recorded
+    :class:`SnapshotMark`.  Both are cached — repeated access is free.
+    """
+
+    parameters: SANModelParameters
+    num_social_nodes: int
+    social_src: np.ndarray
+    social_dst: np.ndarray
+    link_social: np.ndarray
+    link_attr: np.ndarray
+    attribute_labels: List[str]
+    attribute_info: List[AttributeInfo]
+    marks: List[SnapshotMark] = field(default_factory=list)
+    _event_log: Optional[List[Tuple[int, int, int]]] = None
+    _final: Optional[FrozenSAN] = None
+    _snapshots: Optional[List[Tuple[int, FrozenSAN]]] = None
+    _orders: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = None
+
+    @property
+    def san(self) -> FrozenSAN:
+        """The final network as a read-only CSR-backed FrozenSAN."""
+        if self._final is None:
+            self._final = self.frozen_at(None)
+        return self._final
+
+    @property
+    def snapshots(self) -> List[Tuple[int, FrozenSAN]]:
+        """``(step, FrozenSAN)`` pairs for every recorded watermark."""
+        if self._snapshots is None:
+            self._snapshots = [(mark.step, self.frozen_at(mark)) for mark in self.marks]
+        return self._snapshots
+
+    def frozen_at(self, mark: Optional[SnapshotMark]) -> FrozenSAN:
+        """Materialize the network at ``mark`` (``None`` = final state).
+
+        The append-only edge log is sorted once (four lexsorts, cached); any
+        watermark's CSR arrays then follow from a stable position filter —
+        the sorted order of an edge-log *prefix* is the sorted full order
+        restricted to positions below the watermark.  Materializing ``k``
+        snapshots therefore costs one sort plus ``k`` linear passes, not
+        ``k`` sorts.
+        """
+        if mark is None:
+            n = self.num_social_nodes
+            m = int(self.social_src.size)
+            na = len(self.attribute_labels)
+            ma = int(self.link_social.size)
+        else:
+            n = mark.num_social_nodes
+            m = mark.num_social_edges
+            na = mark.num_attribute_nodes
+            ma = mark.num_attribute_edges
+        if self._orders is None:
+            self._orders = (
+                np.lexsort((self.social_dst, self.social_src)),
+                np.lexsort((self.social_src, self.social_dst)),
+                np.lexsort((self.link_attr, self.link_social)),
+                np.lexsort((self.link_social, self.link_attr)),
+            )
+        out_order, in_order, sa_order, as_order = self._orders
+
+        def prefix_csr(order, row_prefix, col_full, count, num_rows):
+            keep = order if count == order.size else order[order < count]
+            counts = np.bincount(row_prefix, minlength=num_rows).astype(np.int64)
+            indptr = np.zeros(num_rows + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            return indptr, col_full[keep]
+
+        from ..graph.frozen import FrozenBipartiteAttributeGraph, FrozenDiGraph
+
+        out_indptr, out_indices = prefix_csr(
+            out_order, self.social_src[:m], self.social_dst, m, n
+        )
+        in_indptr, in_indices = prefix_csr(
+            in_order, self.social_dst[:m], self.social_src, m, n
+        )
+        social = FrozenDiGraph(
+            list(range(n)), out_indptr, out_indices, in_indptr, in_indices
+        )
+        sa_indptr, sa_indices = prefix_csr(
+            sa_order, self.link_social[:ma], self.link_attr, ma, n
+        )
+        as_indptr, as_indices = prefix_csr(
+            as_order, self.link_attr[:ma], self.link_social, ma, na
+        )
+        attributes = FrozenBipartiteAttributeGraph(
+            social.labels(),
+            social._index,
+            list(self.attribute_labels[:na]),
+            list(self.attribute_info[:na]),
+            sa_indptr,
+            sa_indices,
+            as_indptr,
+            as_indices,
+        )
+        return FrozenSAN(social, attributes)
+
+    def to_san(self) -> SAN:
+        """Rebuild a mutable :class:`~repro.graph.san.SAN` (thaw-equivalent)."""
+        san = SAN()
+        for node in range(self.num_social_nodes):
+            san.add_social_node(node)
+        for source, target in zip(self.social_src.tolist(), self.social_dst.tolist()):
+            san.add_social_edge(source, target)
+        labels = self.attribute_labels
+        infos = self.attribute_info
+        for social, attr in zip(self.link_social.tolist(), self.link_attr.tolist()):
+            info = infos[attr]
+            san.add_attribute_edge(
+                social, labels[attr], attr_type=info.attr_type, value=info.value
+            )
+        return san
+
+    def history(self) -> ArrivalHistory:
+        """Arrival history of the run (empty unless ``record_history`` was set).
+
+        The initial SAN is the complete seed network; events decode the
+        compact log into :class:`~repro.models.history.ArrivalEvent` objects
+        in arrival order, so the likelihood analyses accept either engine's
+        output interchangeably.
+        """
+        if self._event_log is None:
+            return ArrivalHistory()
+        params = self.parameters
+        history = ArrivalHistory(
+            initial=complete_seed_san(
+                params.seed_social_nodes, params.seed_attribute_nodes
+            )
+        )
+        labels = self.attribute_labels
+        events = history.events
+        for kind, first, second in self._event_log:
+            if kind == _EVENT_NODE:
+                events.append(ArrivalEvent("node", first))
+            elif kind == _EVENT_ATTRIBUTE:
+                events.append(
+                    ArrivalEvent("attribute", first, labels[second], attr_type="model")
+                )
+            else:
+                events.append(ArrivalEvent("social", first, second))
+        return history
+
+    def summary(self) -> Dict[str, float]:
+        """Size summary matching ``SAN.summary()`` without materializing."""
+        n = self.num_social_nodes
+        na = len(self.attribute_labels)
+        m = int(self.social_src.size)
+        ma = int(self.link_social.size)
+        return {
+            "social_nodes": n,
+            "attribute_nodes": na,
+            "social_edges": m,
+            "attribute_edges": ma,
+            "social_density": m / n if n else 0.0,
+            "attribute_density": ma / na if na else 0.0,
+        }
+
+
+def _derive_generators(rng: RngLike) -> Tuple[np.random.Generator, random.Random]:
+    """One numpy generator (block draws) + one MT generator (scalar uniforms).
+
+    An integer seed maps deterministically to both streams; a
+    ``random.Random`` or ``None`` input is reduced to a 64-bit seed first.
+    """
+    if isinstance(rng, int):
+        seed = rng
+    else:
+        seed = ensure_rng(rng).getrandbits(64)
+    return np.random.default_rng(seed), random.Random(seed ^ 0x9E3779B97F4A7C15)
+
+
+def generate_san_fast(
+    params: Optional[SANModelParameters] = None,
+    rng: RngLike = None,
+    snapshot_every: Optional[int] = None,
+    record_history: bool = False,
+) -> FastSANModelRun:
+    """Run Algorithm 1 on the vectorized engine.
+
+    Implements the same stochastic process as
+    :class:`~repro.models.san_model.SANGenerativeModel` (including the
+    bounded attribute-link retries and step-0 seed scheduling) on array
+    state; see the module docstring for the data-structure inventory.
+    Requires ``params.attachment.alpha == 1`` — the O(1) LAPA sampler relies
+    on the linear-degree decomposition (use the loop engine, or
+    :func:`san_generate` with ``engine="auto"``, for other exponents).
+    """
+    params = params if params is not None else SANModelParameters()
+    if params.attachment.alpha != 1.0:
+        raise ValueError(
+            "the vectorized engine requires attachment.alpha == 1 "
+            "(the loop engine handles other exponents)"
+        )
+    np_gen, uni_rng = _derive_generators(rng)
+    blocks = _BlockSampler(np_gen, params)
+    uniform = uni_rng.random
+
+    steps = params.steps
+    arrivals_per_step = params.arrivals_per_step
+    num_seed = params.seed_social_nodes
+    num_seed_attrs = params.seed_attribute_nodes
+    n_total = num_seed + steps * arrivals_per_step
+    stride = n_total  # node-pair key stride for the edge-dedup set
+
+    attachment = params.attachment
+    beta = attachment.beta if params.use_lapa else 0.0
+    smoothing = attachment.smoothing
+    type_weights = attachment.type_weights or {}
+    focal_weight = params.focal_weight if params.use_focal_closure else 0.0
+    reciprocation = params.reciprocation_probability
+    p_new_attribute = params.new_attribute_probability
+    mean_sleep = params.lifetime.mean_sleep
+    track_attr_mass = beta > 0.0
+
+    # ------------------------------------------------------------------
+    # Array state
+    # ------------------------------------------------------------------
+    esrc = GrowableIntArray(4 * n_total)
+    edst = GrowableIntArray(4 * n_total)  # doubles as the in-degree PA pool
+    link_social = GrowableIntArray(4 * n_total)
+    link_attr = GrowableIntArray(4 * n_total)  # doubles as the attribute PA pool
+    out_degree = [0] * n_total
+    death_time = [0.0] * n_total
+    adjacency: List[List[int]] = [[] for _ in range(n_total)]  # distinct-neighbor lists
+    node_attrs: List[List[int]] = [[] for _ in range(n_total)]
+    attr_labels: List[str] = []
+    attr_info: List[AttributeInfo] = []
+    attr_weight: List[float] = []  # interned type weight per attribute
+    members: List[List[int]] = []  # distinct members per attribute
+    degree_pool: List[List[int]] = []  # member per in-link gained while a member
+    edge_keys = set()
+    buckets: List[List[Tuple[float, int]]] = [[] for _ in range(steps + 2)]
+    event_log: Optional[List[Tuple[int, int, int]]] = [] if record_history else None
+
+    # ------------------------------------------------------------------
+    # Seed: the complete SAN of Section 5.3's initialization
+    # ------------------------------------------------------------------
+    for source in range(num_seed):
+        adjacency[source] = [node for node in range(num_seed) if node != source]
+        for target in range(num_seed):
+            if source != target:
+                esrc.append(source)
+                edst.append(target)
+                edge_keys.add(source * stride + target)
+        out_degree[source] = num_seed - 1
+    for attr_id in range(num_seed_attrs):
+        attr_labels.append(f"seed:{attr_id}")
+        attr_info.append(AttributeInfo(attr_type="seed", value=str(attr_id)))
+        attr_weight.append(type_weights.get("seed", 1.0))
+        members.append(list(range(num_seed)))
+        # Every seed member already holds num_seed - 1 incoming links.
+        degree_pool.append(
+            [node for node in range(num_seed) for _ in range(num_seed - 1)]
+        )
+    for source in range(num_seed):
+        node_attrs[source] = list(range(num_seed_attrs))
+        for attr_id in range(num_seed_attrs):
+            link_social.append(source)
+            link_attr.append(attr_id)
+    num_nodes = num_seed
+    num_attrs = num_seed_attrs
+
+    # Seed social nodes are scheduled at step 0 like every later arrival.
+    for node in range(num_seed):
+        death_time[node] = blocks.lifetime()
+        wake = blocks.standard_exponential() * (mean_sleep / max(out_degree[node], 1))
+        bucket = max(1, math.ceil(wake))
+        if bucket <= steps:
+            buckets[bucket].append((wake, node))
+
+    # ------------------------------------------------------------------
+    # Samplers (closures over the hot state)
+    # ------------------------------------------------------------------
+    def add_edge(source: int, target: int) -> bool:
+        if source == target:
+            return False
+        key = source * stride + target
+        if key in edge_keys:
+            return False
+        edge_keys.add(key)
+        esrc.append(source)
+        edst.append(target)
+        out_degree[source] += 1
+        if target * stride + source not in edge_keys:
+            adjacency[source].append(target)
+            adjacency[target].append(source)
+        if track_attr_mass:
+            for attr_id in node_attrs[target]:
+                degree_pool[attr_id].append(target)
+        if event_log is not None:
+            event_log.append((_EVENT_SOCIAL, source, target))
+        return True
+
+    def sample_lapa(source: int) -> Optional[int]:
+        # Exact alpha = 1 LAPA decomposition; mirrors sample_lapa_target_fast
+        # but with O(|Gamma_a(source)|) mass lookups instead of community scans.
+        edge_count = esrc.size
+        degree_mass = edge_count + smoothing * num_nodes
+        attribute_mass = 0.0
+        masses: List[float] = []
+        source_attrs = node_attrs[source]
+        if beta > 0.0 and source_attrs:
+            for attr_id in source_attrs:
+                mass = attr_weight[attr_id] * (
+                    len(degree_pool[attr_id]) + smoothing * len(members[attr_id])
+                )
+                masses.append(mass)
+                attribute_mass += mass
+            attribute_mass *= beta
+        total_mass = degree_mass + attribute_mass
+        if total_mass <= 0.0:
+            return None
+        for _ in range(LAPA_MAX_RETRIES):
+            if attribute_mass > 0.0 and uniform() * total_mass < attribute_mass:
+                threshold = uniform() * (attribute_mass / beta)
+                cumulative = 0.0
+                chosen = source_attrs[-1]
+                for attr_id, mass in zip(source_attrs, masses):
+                    cumulative += mass
+                    if cumulative >= threshold:
+                        chosen = attr_id
+                        break
+                pool = degree_pool[chosen]
+                community = members[chosen]
+                inner_mass = len(pool) + smoothing * len(community)
+                if pool and uniform() * inner_mass < len(pool):
+                    candidate = pool[int(uniform() * len(pool))]
+                else:
+                    candidate = community[int(uniform() * len(community))]
+            elif edge_count and uniform() * degree_mass < edge_count:
+                candidate = int(edst.data[int(uniform() * edge_count)])
+            else:
+                candidate = int(uniform() * num_nodes)
+            if candidate != source:
+                return candidate
+        # Retries exhausted (tiny graphs): any node but the source.
+        if num_nodes <= 1:
+            return None
+        while True:
+            candidate = int(uniform() * num_nodes)
+            if candidate != source:
+                return candidate
+
+    def sample_closure(source: int) -> Optional[int]:
+        # RR-SAN two-hop closure (RR when focal_weight is 0); mirrors
+        # RandomRandomSANClosing.sample_target on the array state.
+        social_hops = adjacency[source]
+        num_social = len(social_hops)
+        source_attrs = node_attrs[source] if focal_weight > 0.0 else ()
+        num_attr = len(source_attrs)
+        total = num_social + focal_weight * num_attr
+        if total <= 0.0:
+            return None
+        for _ in range(CLOSURE_SAMPLE_TRIES):
+            if uniform() * total < num_social:
+                pool = adjacency[social_hops[int(uniform() * num_social)]]
+            else:
+                pool = members[source_attrs[int(uniform() * num_attr)]]
+            pool_size = len(pool)
+            if pool_size == 0 or (pool_size == 1 and pool[0] == source):
+                continue
+            # The source occurs at most once in a distinct-member pool, so
+            # rejection converges immediately in expectation.
+            for _attempt in range(32):
+                candidate = pool[int(uniform() * pool_size)]
+                if candidate != source:
+                    return candidate
+        return None
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    marks: List[SnapshotMark] = []
+    for step in range(1, steps + 1):
+        for _ in range(arrivals_per_step):
+            node = num_nodes
+            num_nodes += 1
+            if event_log is not None:
+                event_log.append((_EVENT_NODE, node, 0))
+
+            # ---------------- attribute degree & linking ----------------
+            my_attrs = node_attrs[node]
+            for _draw in range(blocks.attribute_degree()):
+                chosen_attr = -1
+                for _attempt in range(ATTRIBUTE_LINK_RETRIES):
+                    pool_size = link_attr.size
+                    if uniform() < p_new_attribute or not pool_size:
+                        chosen_attr = num_attrs
+                        num_attrs += 1
+                        label = f"attr:{chosen_attr - num_seed_attrs}"
+                        attr_labels.append(label)
+                        # Mirror the mutable backend's default of value =
+                        # str(node id): a literal None would collapse every
+                        # model attribute into one node on TSV round-trip.
+                        attr_info.append(AttributeInfo(attr_type="model", value=label))
+                        attr_weight.append(type_weights.get("model", 1.0))
+                        members.append([])
+                        degree_pool.append([])
+                        break
+                    candidate = int(link_attr.data[int(uniform() * pool_size)])
+                    if candidate not in my_attrs:
+                        chosen_attr = candidate
+                        break
+                if chosen_attr < 0:
+                    continue  # every retry collided with an existing link
+                link_social.append(node)
+                link_attr.append(chosen_attr)
+                members[chosen_attr].append(node)
+                my_attrs.append(chosen_attr)
+                if event_log is not None:
+                    event_log.append((_EVENT_ATTRIBUTE, node, chosen_attr))
+
+            # ---------------- first outgoing link (LAPA) ----------------
+            target = sample_lapa(node)
+            if target is not None and add_edge(node, target):
+                if uniform() < reciprocation:
+                    add_edge(target, node)
+
+            # ---------------- lifetime & first sleep ----------------
+            death_time[node] = step + blocks.lifetime()
+            wake = step + blocks.standard_exponential() * (
+                mean_sleep / max(out_degree[node], 1)
+            )
+            bucket = math.ceil(wake)
+            if bucket <= steps:
+                buckets[bucket].append((wake, node))
+
+        # -------------------- woken nodes add links --------------------
+        queue = buckets[step]
+        while queue:
+            requeue: List[Tuple[float, int]] = []
+            for wake, node in queue:
+                if wake > death_time[node]:
+                    continue  # lifetime expired while sleeping
+                target = sample_closure(node)
+                if target is None:
+                    target = sample_lapa(node)
+                if target is not None and add_edge(node, target):
+                    if uniform() < reciprocation:
+                        add_edge(target, node)
+                next_wake = wake + blocks.standard_exponential() * (
+                    mean_sleep / max(out_degree[node], 1)
+                )
+                if next_wake > death_time[node]:
+                    continue  # would be dropped at its next wake anyway
+                if next_wake <= step:
+                    requeue.append((next_wake, node))
+                else:
+                    bucket = math.ceil(next_wake)
+                    if bucket <= steps:
+                        buckets[bucket].append((next_wake, node))
+            queue = requeue
+        buckets[step] = []
+
+        if snapshot_every is not None and step % snapshot_every == 0:
+            marks.append(
+                SnapshotMark(step, num_nodes, esrc.size, num_attrs, link_social.size)
+            )
+
+    if snapshot_every is not None and (not marks or marks[-1].step != steps):
+        marks.append(
+            SnapshotMark(steps, num_nodes, esrc.size, num_attrs, link_social.size)
+        )
+
+    return FastSANModelRun(
+        parameters=params,
+        num_social_nodes=num_nodes,
+        social_src=esrc.view().copy(),
+        social_dst=edst.view().copy(),
+        link_social=link_social.view().copy(),
+        link_attr=link_attr.view().copy(),
+        attribute_labels=attr_labels,
+        attribute_info=attr_info,
+        marks=marks,
+        _event_log=event_log,
+    )
+
+
+# ----------------------------------------------------------------------
+# Engine-registry routing
+# ----------------------------------------------------------------------
+def _loop_generate(
+    params: SANModelParameters,
+    rng: RngLike = None,
+    snapshot_every: Optional[int] = None,
+    record_history: bool = False,
+) -> SANModelRun:
+    """Portable fallback: the reference per-node loop implementation."""
+    return SANGenerativeModel(params=params, rng=rng).generate(
+        snapshot_every=snapshot_every, record_history=record_history
+    )
+
+
+engine_registry.register(SAN_GENERATE_OP, _loop_generate, backend=LOOP_ENGINE)
+engine_registry.register(
+    SAN_GENERATE_OP, generate_san_fast, backend=VECTORIZED_ENGINE, priority=10
+)
+
+
+def san_generate(
+    params: Optional[SANModelParameters] = None,
+    rng: RngLike = None,
+    snapshot_every: Optional[int] = None,
+    record_history: bool = False,
+    engine: str = "auto",
+) -> Union[SANModelRun, FastSANModelRun]:
+    """Generate a SAN with Algorithm 1, routed through the engine registry.
+
+    ``engine`` selects the backend registered under the ``"san_generate"``
+    operation: ``"vectorized"`` (array engine, returns
+    :class:`FastSANModelRun`), ``"loop"`` (reference implementation, returns
+    :class:`~repro.models.san_model.SANModelRun`), or ``"auto"`` — the
+    vectorized engine whenever its ``alpha = 1`` requirement holds, the loop
+    engine otherwise.  Unlike :func:`~repro.models.san_model.generate_san`,
+    ``record_history`` defaults to ``False`` (generation-scale runs rarely
+    want the event log).
+    """
+    params = params if params is not None else SANModelParameters()
+    if engine == "auto":
+        engine = VECTORIZED_ENGINE if params.attachment.alpha == 1.0 else LOOP_ENGINE
+    kernel = engine_registry.select(SAN_GENERATE_OP, engine)
+    if kernel is None:
+        known = sorted({entry.backend for entry in engine_registry.kernels_for(SAN_GENERATE_OP)})
+        raise engine_registry.NoKernelError(
+            f"unknown generation engine {engine!r}; registered engines: {known}"
+        )
+    return kernel.fn(
+        params, rng=rng, snapshot_every=snapshot_every, record_history=record_history
+    )

@@ -23,6 +23,19 @@ The stochastic process, per simulated time step ``t``:
 Incoming links arrive implicitly as other nodes' outgoing links; an optional
 reciprocation probability creates immediate back-links so the generated SAN's
 reciprocity matches the 0.38-0.46 range measured on Google+.
+
+Initialization follows Section 5.3: the process starts from a small complete
+SAN whose seed social nodes sample lifetimes and sleep times at step 0, so
+they participate in outgoing linking exactly like later arrivals.  Attribute
+links whose existing-attribute draw collides with an attribute the node
+already holds are re-drawn (bounded by ``ATTRIBUTE_LINK_RETRIES``) so the
+realized attribute degree tracks the sampled lognormal.
+
+This module is the reference *loop* engine — the portable fallback
+registered under the ``san_generate`` operation.  The array-backed
+vectorized engine in :mod:`repro.models.fast_sim` implements the identical
+process at scale; :func:`repro.models.fast_sim.san_generate` routes between
+them.
 """
 
 from __future__ import annotations
@@ -42,6 +55,14 @@ from .parameters import AttachmentParameters, SANModelParameters
 from .triangle_closing import RandomRandomClosing, RandomRandomSANClosing
 
 Node = Hashable
+
+#: Bounded retries for one attribute-link draw whose existing-attribute pick
+#: collides with an attribute the node already holds.  Dropping the draw (the
+#: pre-fix behaviour) silently biased realized attribute degree below the
+#: sampled lognormal; re-drawing keeps the marginal new-vs-existing split
+#: intact while preserving the sampled degree.  Shared with the vectorized
+#: engine so both implement the same bounded-retry distribution.
+ATTRIBUTE_LINK_RETRIES = 10
 
 
 @dataclass
@@ -87,9 +108,21 @@ class SANGenerativeModel:
         next_social_id = max(int(n) for n in node_pool) + 1
         next_attribute_id = 0
 
-        death_time: Dict[Node, float] = {node: float("inf") for node in node_pool}
+        death_time: Dict[Node, float] = {}
         wake_heap: List[Tuple[float, int, Node]] = []
         heap_counter = 0
+
+        # Seed social nodes follow the same lifetime/sleep process as every
+        # later arrival (Algorithm 1 draws them at step 0); without this they
+        # would never wake and hence never issue outgoing links after seeding.
+        for node in node_pool:
+            lifetime = sample_truncated_normal_lifetime(params.lifetime, rng=rng)
+            death_time[node] = lifetime
+            sleep = sample_sleep_time(
+                params.lifetime, san.social_out_degree(node), rng=rng
+            )
+            heap_counter += 1
+            heapq.heappush(wake_heap, (sleep, heap_counter, node))
 
         closing_model = (
             RandomRandomSANClosing(attribute_weight=params.focal_weight)
@@ -125,13 +158,18 @@ class SANGenerativeModel:
                 # ---------------- attribute degree & linking ----------------
                 num_attributes = self._sample_attribute_degree(rng)
                 for _ in range(num_attributes):
-                    if rng.random() < params.new_attribute_probability or not attribute_pool:
-                        attribute = f"attr:{next_attribute_id}"
-                        next_attribute_id += 1
-                    else:
-                        attribute = attribute_pool[rng.randrange(len(attribute_pool))]
-                        if san.has_attribute_edge(new_node, attribute):
-                            continue
+                    attribute = None
+                    for _attempt in range(ATTRIBUTE_LINK_RETRIES):
+                        if rng.random() < params.new_attribute_probability or not attribute_pool:
+                            attribute = f"attr:{next_attribute_id}"
+                            next_attribute_id += 1
+                            break
+                        candidate = attribute_pool[rng.randrange(len(attribute_pool))]
+                        if not san.has_attribute_edge(new_node, candidate):
+                            attribute = candidate
+                            break
+                    if attribute is None:
+                        continue  # every retry collided with an existing link
                     san.add_attribute_edge(new_node, attribute, attr_type="model")
                     attribute_pool.append(attribute)
                     if record_history:
@@ -164,7 +202,9 @@ class SANGenerativeModel:
             # -------------------- woken nodes add links --------------------
             while wake_heap and wake_heap[0][0] <= step:
                 wake_time, _, node = heapq.heappop(wake_heap)
-                if wake_time > death_time.get(node, 0.0):
+                # Strict lookup: every scheduled node has a sampled death time
+                # (a silent default would wrongly kill a missing node).
+                if wake_time > death_time[node]:
                     continue  # the node's lifetime expired while sleeping
                 target = closing_model.sample_target(san, node, rng=rng)
                 if target is None:
@@ -201,7 +241,7 @@ class SANGenerativeModel:
     def _sample_attribute_degree(self, rng) -> int:
         """Lognormal attribute degree, rounded to an integer (possibly zero)."""
         draw = rng.lognormvariate(self.params.attribute_mu, self.params.attribute_sigma)
-        return max(0, int(round(draw)))
+        return int(round(draw))
 
 
 def generate_san(

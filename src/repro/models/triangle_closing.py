@@ -30,6 +30,12 @@ from ..utils.rng import RngLike, ensure_rng
 
 Node = Hashable
 
+#: Bounded attempts at finding a non-empty two-hop candidate set before a
+#: closure sampler gives up and returns ``None`` (the generative model then
+#: falls back to attachment).  Shared with the vectorized engine in
+#: :mod:`repro.models.fast_sim`.
+CLOSURE_SAMPLE_TRIES = 10
+
 
 class TriangleClosingModel:
     """Interface: sample a closure target and score observed closures."""
@@ -72,7 +78,7 @@ class RandomRandomClosing(TriangleClosingModel):
         first_hops = list(san.social_neighbors(source))
         if not first_hops:
             return None
-        for _ in range(10):
+        for _ in range(CLOSURE_SAMPLE_TRIES):
             intermediate = first_hops[generator.randrange(len(first_hops))]
             second_hops = [
                 node for node in san.social_neighbors(intermediate) if node != source
@@ -131,7 +137,7 @@ class RandomRandomSANClosing(TriangleClosingModel):
         total = sum(weights)
         if total <= 0:
             return None
-        for _ in range(10):
+        for _ in range(CLOSURE_SAMPLE_TRIES):
             threshold = generator.random() * total
             cumulative = 0.0
             intermediate = nodes[-1]

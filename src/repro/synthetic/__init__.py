@@ -21,6 +21,7 @@ from .workloads import (
     EvolutionWorkload,
     build_workload,
     default_config,
+    generative_params,
     large_config,
     small_config,
     standard_snapshot_days,
@@ -46,6 +47,7 @@ __all__ = [
     "EvolutionWorkload",
     "build_workload",
     "default_config",
+    "generative_params",
     "large_config",
     "small_config",
     "standard_snapshot_days",

@@ -10,8 +10,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from ..graph.frozen import FrozenSAN
 from ..graph.san import SAN
 from ..metrics.evolution import PhaseBoundaries
+from ..models.parameters import SANModelParameters
 from ..utils.rng import RngLike
 from .gplus import GooglePlusConfig, GroundTruthEvolution, simulate_google_plus
 
@@ -53,6 +55,10 @@ class EvolutionWorkload:
     def snapshots(self) -> List[Tuple[int, SAN]]:
         return self.evolution.snapshots(self.snapshot_days)
 
+    def frozen_snapshots(self) -> List[Tuple[int, FrozenSAN]]:
+        """The standard snapshot days as CSR-backed frozen views (no copies)."""
+        return self.evolution.frozen_snapshots(self.snapshot_days)
+
     def final_san(self) -> SAN:
         return self.evolution.final_san()
 
@@ -69,6 +75,16 @@ def standard_snapshot_days(num_days: int, count: int = 14) -> List[int]:
     if days[-1] != num_days:
         days[-1] = num_days
     return days
+
+
+def generative_params(steps: int = 50_000) -> SANModelParameters:
+    """Canonical Algorithm 1 parameters for the generation benches.
+
+    The paper's defaults at a configurable step count; used by
+    ``benchmarks/bench_generative.py`` and the CI benchmark smoke leg so the
+    loop/vectorized engine comparison always runs the same workload.
+    """
+    return SANModelParameters(steps=steps)
 
 
 def build_workload(

@@ -4,10 +4,12 @@ from .rng import ensure_rng, spawn_rngs
 from .stats import (
     ccdf,
     empirical_pmf,
+    ks_two_sample_threshold,
     log_binned_average,
     log_binned_histogram,
     percentile,
     summarize,
+    two_sample_ks_statistic,
 )
 from .validation import require_non_negative, require_positive, require_probability
 
@@ -16,6 +18,8 @@ __all__ = [
     "spawn_rngs",
     "ccdf",
     "empirical_pmf",
+    "ks_two_sample_threshold",
+    "two_sample_ks_statistic",
     "log_binned_average",
     "log_binned_histogram",
     "percentile",

@@ -137,3 +137,39 @@ def test_help_documents_frozen_and_report(capsys):
     with pytest.raises(SystemExit):
         main(["report", "--help"])
     assert "freeze the SAN once" in capsys.readouterr().out
+
+
+def test_generate_vectorized_engine(tmp_path, capsys):
+    prefix = tmp_path / "fast"
+    exit_code = main(
+        [
+            "generate",
+            "--steps", "150",
+            "--seed", "9",
+            "--engine", "vectorized",
+            "--out-prefix", str(prefix),
+        ]
+    )
+    assert exit_code == 0
+    assert "generated" in capsys.readouterr().out
+    san = load_san_tsv(f"{prefix}.social.tsv", f"{prefix}.attrs.tsv")
+    assert san.number_of_social_nodes() == 155  # 150 steps + 5 seed nodes
+    assert san.number_of_attribute_edges() > 0
+
+
+def test_generate_engines_agree_on_node_count(tmp_path, capsys):
+    sizes = {}
+    for engine in ("loop", "vectorized"):
+        prefix = tmp_path / engine
+        assert main(
+            [
+                "generate",
+                "--steps", "80",
+                "--seed", "4",
+                "--engine", engine,
+                "--out-prefix", str(prefix),
+            ]
+        ) == 0
+        san = load_san_tsv(f"{prefix}.social.tsv", f"{prefix}.attrs.tsv")
+        sizes[engine] = san.number_of_social_nodes()
+    assert sizes["loop"] == sizes["vectorized"] == 85

@@ -246,3 +246,61 @@ def test_frozen_san_from_builder_edge_lists():
     frozen = san.freeze()
     assert frozen.common_attributes(1, 2) == san.common_attributes(1, 2)
     assert frozen.social.is_reciprocal(1, 2)
+
+
+class TestFromEdgeArrays:
+    def _reference(self):
+        social_edges = [(0, 1), (1, 0), (1, 2), (2, 3), (3, 1)]
+        attribute_records = [
+            (0, "employer", "Google"),
+            (1, "employer", "Google"),
+            (2, "city", "SF"),
+        ]
+        return san_from_edge_lists(social_edges, attribute_records)
+
+    def _from_arrays(self):
+        from repro.graph.bipartite import AttributeInfo
+
+        src = np.array([0, 1, 1, 2, 3], dtype=np.int64)
+        dst = np.array([1, 0, 2, 3, 1], dtype=np.int64)
+        attr_labels = ["employer:Google", "city:SF"]
+        attr_info = [
+            AttributeInfo(attr_type="employer", value="Google"),
+            AttributeInfo(attr_type="city", value="SF"),
+        ]
+        link_social = np.array([0, 1, 2], dtype=np.int64)
+        link_attr = np.array([0, 0, 1], dtype=np.int64)
+        return FrozenSAN.from_edge_arrays(
+            [0, 1, 2, 3], src, dst, attr_labels, attr_info, link_social, link_attr
+        )
+
+    def test_matches_frozen_reference(self):
+        reference = self._reference().freeze()
+        built = self._from_arrays()
+        assert built.summary() == reference.summary()
+        for source, target in reference.social_edges():
+            assert built.has_social_edge(source, target)
+        for social, attribute in reference.attribute_edges():
+            assert built.has_attribute_edge(social, attribute)
+            assert built.attribute_info(attribute) == reference.attribute_info(attribute)
+        for node in reference.social_nodes():
+            assert built.social_in_degree(node) == reference.social_in_degree(node)
+            assert built.social_out_degree(node) == reference.social_out_degree(node)
+
+    def test_rows_are_sorted(self):
+        built = self._from_arrays()
+        indptr, indices = built.social.out_csr()
+        for row in range(len(indptr) - 1):
+            segment = indices[indptr[row] : indptr[row + 1]]
+            assert np.all(np.diff(segment) >= 0)
+
+    def test_thaw_round_trip(self):
+        built = self._from_arrays()
+        assert built.thaw().summary() == built.summary()
+
+    def test_empty_arrays(self):
+        empty = np.empty(0, dtype=np.int64)
+        built = FrozenSAN.from_edge_arrays([0, 1], empty, empty, [], [], empty, empty)
+        assert built.number_of_social_nodes() == 2
+        assert built.number_of_social_edges() == 0
+        assert built.number_of_attribute_nodes() == 0

@@ -108,6 +108,24 @@ def test_deterministic_given_seed():
     assert set(first.san.attribute_edges()) == set(second.san.attribute_edges())
 
 
+def test_serialized_determinism_given_seed(tmp_path):
+    """Same seed + parameters produce byte-identical serialized SANs."""
+    from repro.graph import save_san_tsv
+
+    params = SANModelParameters(steps=100)
+    for index in (1, 2):
+        run = generate_san(params, rng=77, record_history=False)
+        save_san_tsv(
+            run.san,
+            tmp_path / f"run{index}.social.tsv",
+            tmp_path / f"run{index}.attrs.tsv",
+        )
+    for suffix in ("social.tsv", "attrs.tsv"):
+        first = (tmp_path / f"run1.{suffix}").read_bytes()
+        second = (tmp_path / f"run2.{suffix}").read_bytes()
+        assert first == second
+
+
 def test_parameter_validation():
     with pytest.raises(ValueError):
         SANModelParameters(steps=0)

@@ -108,6 +108,41 @@ def test_simulation_deterministic_given_seed():
     assert first.final_san().number_of_social_edges() == second.final_san().number_of_social_edges()
 
 
+def test_simulation_serialized_determinism(tmp_path):
+    """Same seed + config produce byte-identical serialized final SANs."""
+    from repro.graph import save_san_tsv
+
+    config = GooglePlusConfig(
+        total_users=120, num_days=20, phases=PhaseBoundaries(5, 15)
+    )
+    for index in (1, 2):
+        evolution = simulate_google_plus(config, rng=42)
+        save_san_tsv(
+            evolution.final_san(),
+            tmp_path / f"run{index}.social.tsv",
+            tmp_path / f"run{index}.attrs.tsv",
+        )
+    for suffix in ("social.tsv", "attrs.tsv"):
+        assert (tmp_path / f"run1.{suffix}").read_bytes() == (
+            tmp_path / f"run2.{suffix}"
+        ).read_bytes()
+
+
+def test_frozen_snapshots_match_copied_snapshots(tiny_evolution):
+    """Delta-materialized frozen snapshots equal the replay-copy snapshots."""
+    days = [10, 25, 40]
+    copied = tiny_evolution.snapshots(days)
+    frozen = tiny_evolution.frozen_snapshots(days)
+    assert [day for day, _ in frozen] == [day for day, _ in copied]
+    for (day, san), (_, view) in zip(copied, frozen):
+        assert view.summary() == san.summary()
+        for source, target in list(san.social_edges())[:100]:
+            assert view.has_social_edge(source, target)
+        for social, attribute in list(san.attribute_edges())[:100]:
+            assert view.has_attribute_edge(social, attribute)
+            assert view.attribute_info(attribute) == san.attribute_info(attribute)
+
+
 def test_three_phase_growth_visible(tiny_evolution):
     """Node growth accelerates again in phase III (public release)."""
     phases = tiny_evolution.phases
