@@ -6,6 +6,7 @@ for every beta; LAPA outperforms PAPA.
 """
 
 from repro.experiments import figure15_attachment_comparison, format_table
+from repro.models import DEFAULT_LIKELIHOOD_SEED
 
 
 def test_fig15_attachment_model_sweep(benchmark, evolution, write_result):
@@ -19,7 +20,9 @@ def test_fig15_attachment_model_sweep(benchmark, evolution, write_result):
             "papa_betas": (0.0, 2.0, 4.0, 8.0),
             "lapa_betas": (0.0, 10.0, 100.0, 200.0),
             "max_links": 1200,
-            "rng": 15,
+            # Explicit seed: the reported improvements are a deterministic
+            # function of the workload, not of the run.
+            "rng": DEFAULT_LIKELIHOOD_SEED,
         },
         rounds=1,
         iterations=1,

@@ -67,30 +67,26 @@ def approximate_average_clustering(
     if not population:
         return 0.0
     samples = num_samples if num_samples is not None else required_samples(epsilon, nu)
+    if samples <= 0:
+        return 0.0
 
+    # Every draw is a valid sample: a center with fewer than two social
+    # neighbors has c(u) = 0 and contributes a zero-scored triple, exactly as
+    # in the exact definition — there is no rejection, so the estimator
+    # always draws exactly ``samples`` triples.
     total = 0
-    drawn = 0
-    attempts = 0
-    max_attempts = samples * 20
-    while drawn < samples and attempts < max_attempts:
-        attempts += 1
+    for _ in range(samples):
         center = population[generator.randrange(len(population))]
         neighbors = list(san.social_neighbors(center))
         if len(neighbors) < 2:
-            # Nodes with fewer than two social neighbors contribute c(u)=0,
-            # exactly as in the exact definition.
-            drawn += 1
             continue
         first_index = generator.randrange(len(neighbors))
         second_index = generator.randrange(len(neighbors) - 1)
         if second_index >= first_index:
             second_index += 1
         total += triple_score(san, neighbors[first_index], neighbors[second_index])
-        drawn += 1
-    if drawn == 0:
-        return 0.0
     # I = 1 because the SAN social layer is directed, so divide by 2K.
-    return total / (2 * drawn)
+    return total / (2 * samples)
 
 
 def approximate_social_clustering(

@@ -1,6 +1,6 @@
 """Command-line interface for the SAN reproduction library.
 
-Five subcommands cover the common workflows without writing any Python:
+Six subcommands cover the common workflows without writing any Python:
 
 * ``simulate``  — run the synthetic Google+ evolution and save the final SAN
   (or a chosen day's snapshot) as a TSV pair.
@@ -13,6 +13,9 @@ Five subcommands cover the common workflows without writing any Python:
 * ``estimate``  — estimate the generative-model parameters from a SAN file.
 * ``generate``  — run the generative model (optionally with parameters
   estimated from a reference SAN) and save the synthetic SAN.
+* ``likelihood`` — the Figure 15 sweep: score PA/PAPA/LAPA attachment models
+  against observed link arrivals, either diffed from two SAN snapshots or
+  from a freshly generated Algorithm 1 history.
 
 Examples
 --------
@@ -23,11 +26,15 @@ Examples
     python -m repro report --social /tmp/gplus.social.tsv --attributes /tmp/gplus.attrs.tsv
     python -m repro estimate --social /tmp/gplus.social.tsv --attributes /tmp/gplus.attrs.tsv
     python -m repro generate --steps 2000 --out-prefix /tmp/synthetic
+    python -m repro likelihood --steps 2000 --max-links 1000
+    python -m repro likelihood --before-social day40.social.tsv --before-attributes day40.attrs.tsv \
+        --after-social day98.social.tsv --after-attributes day98.attrs.tsv
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -35,7 +42,15 @@ from .crawler import crawl_evolution
 from .graph import SAN, load_san_tsv, save_san_tsv
 from .metrics import format_report, frozen_san_report, san_metric_report
 from .metrics.evolution import PhaseBoundaries
-from .models import SANModelParameters, estimate_parameters, san_generate
+from .models import (
+    DEFAULT_LIKELIHOOD_SEED,
+    ArrivalHistory,
+    SANModelParameters,
+    estimate_parameters,
+    figure15_sweep,
+    generate_san_fast,
+    san_generate,
+)
 from .synthetic import GooglePlusConfig, build_workload, standard_snapshot_days
 
 
@@ -111,6 +126,68 @@ def build_parser() -> argparse.ArgumentParser:
         "alpha = 1 requirement holds)",
     )
     generate.add_argument("--out-prefix", required=True)
+
+    likelihood_help = (
+        "score PA/PAPA/LAPA attachment models against observed link arrivals "
+        "(the Figure 15 sweep): relative log-likelihood improvement over PA"
+    )
+    likelihood = subparsers.add_parser(
+        "likelihood", help=likelihood_help, description=likelihood_help
+    )
+    likelihood.add_argument(
+        "--steps",
+        type=int,
+        default=None,
+        help="generate an Algorithm 1 history of this many steps to score "
+        "(alternative to the snapshot-pair inputs below)",
+    )
+    likelihood.add_argument(
+        "--before-social", default=None, help="earlier snapshot: social edge TSV"
+    )
+    likelihood.add_argument(
+        "--before-attributes", default=None, help="earlier snapshot: attribute TSV"
+    )
+    likelihood.add_argument(
+        "--after-social", default=None, help="later snapshot: social edge TSV"
+    )
+    likelihood.add_argument(
+        "--after-attributes", default=None, help="later snapshot: attribute TSV"
+    )
+    likelihood.add_argument(
+        "--engine",
+        choices=["auto", "vectorized", "loop"],
+        default="auto",
+        help="likelihood engine: the array-backed vectorized backend, the "
+        "reference replay loop, or auto (vectorized)",
+    )
+    likelihood.add_argument(
+        "--seed",
+        type=int,
+        default=DEFAULT_LIKELIHOOD_SEED,
+        help="seed for the scored-link subsample (and the generated history "
+        "with --steps); the default makes repeated runs agree exactly",
+    )
+    likelihood.add_argument(
+        "--max-links",
+        type=int,
+        default=2000,
+        help="number of links to score (uniform subsample); 0 scores all",
+    )
+    likelihood.add_argument("--smoothing", type=float, default=1.0)
+    likelihood.add_argument(
+        "--alphas", default="0,0.5,1,1.5,2", help="comma-separated alpha grid"
+    )
+    likelihood.add_argument(
+        "--papa-betas", default="0,2,4,6,8", help="comma-separated PAPA beta grid"
+    )
+    likelihood.add_argument(
+        "--lapa-betas",
+        default="0,10,100,200,500",
+        help="comma-separated LAPA beta grid",
+    )
+    likelihood.add_argument(
+        "--out", default=None, help="also write the sweep as JSON to this file"
+    )
 
     return parser
 
@@ -203,12 +280,91 @@ def _command_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_grid(text: str, flag: str) -> List[float]:
+    try:
+        return [float(part) for part in text.split(",") if part.strip() != ""]
+    except ValueError:
+        raise SystemExit(f"error: {flag} expects comma-separated numbers, got {text!r}")
+
+
+def _command_likelihood(args: argparse.Namespace) -> int:
+    snapshot_flags = (
+        args.before_social,
+        args.before_attributes,
+        args.after_social,
+        args.after_attributes,
+    )
+    if args.steps is not None and any(flag is not None for flag in snapshot_flags):
+        print(
+            "error: --steps and the snapshot TSV flags are mutually exclusive",
+            file=sys.stderr,
+        )
+        return 2
+    if args.steps is not None:
+        run = generate_san_fast(
+            SANModelParameters(steps=args.steps), rng=args.seed, record_history=True
+        )
+        history = run.history()
+        source = f"generated history ({args.steps} steps, seed {args.seed})"
+    elif all(flag is not None for flag in snapshot_flags):
+        earlier = load_san_tsv(args.before_social, args.before_attributes)
+        later = load_san_tsv(args.after_social, args.after_attributes)
+        history = ArrivalHistory.from_snapshots(earlier, later)
+        source = f"snapshot diff ({args.before_social} -> {args.after_social})"
+    else:
+        print(
+            "error: pass either --steps or all four snapshot TSVs "
+            "(--before-social/--before-attributes/--after-social/--after-attributes)",
+            file=sys.stderr,
+        )
+        return 2
+
+    max_links = None if args.max_links <= 0 else args.max_links
+    sweep = figure15_sweep(
+        history,
+        alphas=_parse_grid(args.alphas, "--alphas"),
+        papa_betas=_parse_grid(args.papa_betas, "--papa-betas"),
+        lapa_betas=_parse_grid(args.lapa_betas, "--lapa-betas"),
+        smoothing=args.smoothing,
+        max_links=max_links,
+        rng=args.seed,
+        engine=args.engine,
+    )
+
+    print(f"Figure 15 attachment-model sweep — {source}")
+    print(
+        f"engine={args.engine}  seed={args.seed}  "
+        f"links scored={sweep['num_links_scored']}"
+    )
+    print(f"PA improvement over uniform: {sweep['pa_over_uniform']:+.4f}")
+    print(f"{'family':<8} {'alpha':>6} {'beta':>8} {'improvement_over_pa':>20}")
+    for family in ("papa", "lapa"):
+        for (alpha, beta), improvement in sorted(sweep[family].items()):
+            print(f"{family:<8} {alpha:>6g} {beta:>8g} {improvement:>+20.6f}")
+    if args.out:
+        payload = {
+            "source": source,
+            "engine": args.engine,
+            "seed": args.seed,
+            "num_links_scored": sweep["num_links_scored"],
+            "pa_over_uniform": sweep["pa_over_uniform"],
+            "papa": {f"{alpha:g},{beta:g}": value for (alpha, beta), value in sweep["papa"].items()},
+            "lapa": {f"{alpha:g},{beta:g}": value for (alpha, beta), value in sweep["lapa"].items()},
+        }
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
 _COMMANDS = {
     "simulate": _command_simulate,
     "measure": _command_measure,
     "report": _command_report,
     "estimate": _command_estimate,
     "generate": _command_generate,
+    "likelihood": _command_likelihood,
 }
 
 

@@ -51,7 +51,7 @@ from ..metrics.influence import degree_by_top_attribute_values, reciprocity_boos
 from ..metrics.joint_degree import attribute_knn, social_knn
 from ..metrics.reciprocity import fine_grained_reciprocity
 from ..models.history import ArrivalHistory
-from ..models.likelihood import figure15_sweep
+from ..models.likelihood import DEFAULT_LIKELIHOOD_SEED, figure15_sweep
 from ..models.san_model import SANModelRun
 from ..models.triangle_closing import evaluate_closure_models
 from ..synthetic.gplus import GroundTruthEvolution
@@ -253,7 +253,8 @@ def figure15_attachment_comparison(
     papa_betas: Sequence[float] = (0.0, 2.0, 4.0, 6.0, 8.0),
     lapa_betas: Sequence[float] = (0.0, 10.0, 100.0, 200.0, 500.0),
     max_links: int = 1500,
-    rng: RngLike = None,
+    rng: RngLike = DEFAULT_LIKELIHOOD_SEED,
+    engine: str = "auto",
 ) -> Dict[str, object]:
     return figure15_sweep(
         history,
@@ -262,6 +263,7 @@ def figure15_attachment_comparison(
         lapa_betas=lapa_betas,
         max_links=max_links,
         rng=rng,
+        engine=engine,
     )
 
 

@@ -30,8 +30,8 @@ from ..metrics.degrees import (
 )
 from ..metrics.reciprocity import global_reciprocity
 from ..utils.rng import RngLike, ensure_rng
+from .fast_sim import san_generate
 from .parameters import AttachmentParameters, SANModelParameters
-from .san_model import generate_san
 from .theory import invert_theorem_one, invert_theorem_two
 
 
@@ -79,20 +79,50 @@ def estimate_parameters(
     # Each attribute node is created by exactly one attribute link, so the
     # fraction of links that spawned a new node is a direct moment estimator of
     # ``p`` (more robust at small scale than inverting the fitted exponent,
-    # which is extremely sensitive near alpha = 2).
+    # which is extremely sensitive near alpha = 2).  Theorem 2 provides the
+    # independent cross-check: the fitted attribute-social-degree exponent
+    # inverts to ``p = (exponent - 2) / (exponent - 1)``, and that inversion
+    # takes over whenever the moment estimator is degenerate (no attribute
+    # links, or a ratio clamped at the admissible bounds).
     num_attribute_links = reference.number_of_attribute_edges()
     if num_attribute_links > 0:
-        new_attribute_probability = (
+        moment_probability: Optional[float] = (
             reference.number_of_attribute_nodes() / num_attribute_links
         )
     else:
-        new_attribute_probability = 0.25
+        moment_probability = None
     if len(attribute_social_degrees) >= 10:
         exponent = fit_power_law(attribute_social_degrees).distribution.alpha
     else:
         exponent = 2.33
-    new_attribute_probability = min(max(new_attribute_probability, 0.02), 0.9)
     diagnostics["attribute_social_degree_exponent"] = exponent
+    theorem_probability = invert_theorem_two(exponent) if exponent > 2.0 else None
+
+    probability_floor, probability_ceiling = 0.02, 0.9
+    moment_degenerate = (
+        moment_probability is None
+        or moment_probability <= probability_floor
+        or moment_probability >= probability_ceiling
+    )
+    if moment_degenerate and theorem_probability is not None:
+        new_attribute_probability = theorem_probability
+        from_theorem = 1.0
+    elif moment_probability is not None:
+        new_attribute_probability = moment_probability
+        from_theorem = 0.0
+    else:
+        new_attribute_probability = 0.25
+        from_theorem = 0.0
+    new_attribute_probability = min(
+        max(new_attribute_probability, probability_floor), probability_ceiling
+    )
+    diagnostics["new_attribute_probability_moment"] = (
+        moment_probability if moment_probability is not None else math.nan
+    )
+    diagnostics["new_attribute_probability_theorem2"] = (
+        theorem_probability if theorem_probability is not None else math.nan
+    )
+    diagnostics["new_attribute_probability_from_theorem2"] = from_theorem
 
     reciprocity = global_reciprocity(reference)
     diagnostics["reciprocity"] = reciprocity
@@ -130,7 +160,8 @@ def _default_distance(reference_summary: Dict[str, float], candidate_summary: Di
     return distance
 
 
-def _summarise(san: SAN) -> Dict[str, float]:
+def _summarise(san) -> Dict[str, float]:
+    """Summary metrics for either backend (mutable pilot SANs or FrozenSAN)."""
     from ..metrics.degrees import degree_summary
     from ..metrics.density import attribute_density, social_density
 
@@ -158,8 +189,11 @@ def greedy_refine(
     reference_summary = _summarise(reference)
 
     def evaluate(params: SANModelParameters) -> float:
+        # Pilot runs ride the engine registry: alpha = 1 pilots (the common
+        # case) run on the vectorized array engine and are summarised
+        # directly on the FrozenSAN it materializes.
         pilot = replace(params, steps=pilot_steps)
-        run = generate_san(pilot, rng=generator.getrandbits(32), record_history=False)
+        run = san_generate(pilot, rng=generator.getrandbits(32), engine="auto")
         return distance(reference_summary, _summarise(run.san))
 
     current = initial

@@ -7,11 +7,24 @@ sum runs over every social node existing at that moment (excluding ``u``), and
 over classical PA is then ``(l_PA - l_model) / l_PA`` (log-likelihoods are
 negative, so positive numbers mean the model explains the arrivals better).
 
-A naive implementation is O(|links| * |nodes|); the evaluator below replays the
-history once while maintaining, for every requested ``alpha``, the running sum
-``S_alpha = sum_x (d_i(x) + s)^alpha``, so each evaluated link only needs the
-attribute-community correction term (iterating over the members of the
-source's attributes), exactly the optimisation the paper alludes to for LAPA.
+Like generation, evaluation is an engine-registry operation
+(``"attachment_likelihood"``) with two backends sharing one scored-link
+selection stream (same seed, same scored links):
+
+* ``"loop"`` (this module) — the reference implementation.  It replays the
+  history through a mutable dict-backed SAN while maintaining, for every
+  requested ``alpha``, the running sum ``S_alpha = sum_x (d_i(x) + s)^alpha``,
+  so each evaluated link only needs the attribute-community correction term,
+  iterated per member in Python.
+* ``"vectorized"`` (:mod:`repro.models.fast_likelihood`) — encodes the history
+  into flat int arrays once, reconstructs every ``S_alpha`` prefix with one
+  cumulative sum, and scores the sampled links in batches across the whole
+  (kind, alpha, beta) spec grid via numpy broadcasting over a CSR
+  attribute-membership layout.
+
+:func:`evaluate_attachment_models` and :func:`figure15_sweep` route between
+them via ``registry.select`` and an ``engine="auto"`` kwarg, exactly like
+:func:`repro.models.san_generate`.
 """
 
 from __future__ import annotations
@@ -20,12 +33,21 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
+from ..engine import registry as engine_registry
 from ..graph.san import SAN
 from ..utils.rng import RngLike, ensure_rng
-from .history import EVENT_ATTRIBUTE, EVENT_NODE, EVENT_SOCIAL, ArrivalHistory, apply_event
-from .parameters import AttachmentParameters
+from .history import EVENT_ATTRIBUTE, EVENT_NODE, ArrivalHistory, apply_event
 
 Node = Hashable
+
+#: Operation name under which both likelihood engines are registered.
+ATTACHMENT_LIKELIHOOD_OP = "attachment_likelihood"
+
+#: Default subsample seed.  The scored-link subsample (``max_links``) must be
+#: reproducible by default — a system-entropy default made every reported
+#: improvement number drift run to run.  Pass ``random.Random()`` explicitly
+#: for non-deterministic subsampling.
+DEFAULT_LIKELIHOOD_SEED = 15
 
 
 @dataclass(frozen=True)
@@ -75,17 +97,20 @@ class LikelihoodResult:
         }
 
 
-def evaluate_attachment_models(
+def evaluate_attachment_models_loop(
     history: ArrivalHistory,
     specs: Sequence[AttachmentModelSpec],
     smoothing: float = 1.0,
     max_links: Optional[int] = 2000,
-    rng: RngLike = None,
+    rng: RngLike = DEFAULT_LIKELIHOOD_SEED,
 ) -> LikelihoodResult:
-    """Score attachment model specs against the social-link arrivals in ``history``.
+    """The ``"loop"`` backend: replay through a mutable SAN, score per member.
 
     ``max_links`` subsamples the scored links uniformly (all links are still
     replayed to keep the state evolution faithful); pass ``None`` to score all.
+    One uniform variate is consumed per social-link event, which is the
+    contract that keeps the scored-link set identical across backends for a
+    given seed.
     """
     generator = ensure_rng(rng)
     total_links = history.num_social_links()
@@ -215,6 +240,62 @@ def _score_link(
         log_likelihoods[spec.name] += math.log(numerator / denominator)
 
 
+def evaluate_attachment_models(
+    history: ArrivalHistory,
+    specs: Sequence[AttachmentModelSpec],
+    smoothing: float = 1.0,
+    max_links: Optional[int] = 2000,
+    rng: RngLike = DEFAULT_LIKELIHOOD_SEED,
+    engine: str = "auto",
+) -> LikelihoodResult:
+    """Score attachment model specs against the social-link arrivals in ``history``.
+
+    ``max_links`` subsamples the scored links uniformly (all links are still
+    replayed to keep the state evolution faithful); pass ``None`` to score all.
+    The subsample is seeded (:data:`DEFAULT_LIKELIHOOD_SEED`) so repeated
+    evaluations agree by default.
+
+    ``engine`` selects the backend registered under the
+    ``"attachment_likelihood"`` operation: ``"vectorized"`` (array backend,
+    :mod:`repro.models.fast_likelihood`), ``"loop"`` (reference
+    implementation), or ``"auto"`` — the best registered backend, currently
+    always the vectorized one.  Both backends draw the scored-link subsample
+    identically, so switching engines never changes *which* links are scored,
+    only how fast they are scored.
+    """
+    from . import fast_likelihood  # noqa: F401  (registers the vectorized backend)
+
+    if engine == "auto":
+        engine = fast_likelihood.VECTORIZED_ENGINE
+    kernel = engine_registry.select(ATTACHMENT_LIKELIHOOD_OP, engine)
+    if kernel is None:
+        known = sorted(
+            {entry.backend for entry in engine_registry.kernels_for(ATTACHMENT_LIKELIHOOD_OP)}
+        )
+        raise engine_registry.NoKernelError(
+            f"unknown likelihood engine {engine!r}; registered engines: {known}"
+        )
+    return kernel.fn(history, specs, smoothing=smoothing, max_links=max_links, rng=rng)
+
+
+def figure15_specs(
+    alphas: Iterable[float] = (0.0, 0.5, 1.0, 1.5, 2.0),
+    papa_betas: Iterable[float] = (0.0, 2.0, 4.0, 6.0, 8.0),
+    lapa_betas: Iterable[float] = (0.0, 10.0, 100.0, 200.0, 500.0),
+) -> List[AttachmentModelSpec]:
+    """The Figure 15 spec grid plus the PA and uniform reference models."""
+    specs: List[AttachmentModelSpec] = [
+        AttachmentModelSpec(kind="pa", alpha=1.0, beta=0.0, label="pa_reference"),
+        AttachmentModelSpec(kind="pa", alpha=0.0, beta=0.0, label="uniform_reference"),
+    ]
+    for alpha in alphas:
+        for beta in papa_betas:
+            specs.append(AttachmentModelSpec(kind="papa", alpha=alpha, beta=beta))
+        for beta in lapa_betas:
+            specs.append(AttachmentModelSpec(kind="lapa", alpha=alpha, beta=beta))
+    return specs
+
+
 def figure15_sweep(
     history: ArrivalHistory,
     alphas: Iterable[float] = (0.0, 0.5, 1.0, 1.5, 2.0),
@@ -222,27 +303,21 @@ def figure15_sweep(
     lapa_betas: Iterable[float] = (0.0, 10.0, 100.0, 200.0, 500.0),
     smoothing: float = 1.0,
     max_links: Optional[int] = 2000,
-    rng: RngLike = None,
+    rng: RngLike = DEFAULT_LIKELIHOOD_SEED,
+    engine: str = "auto",
 ) -> Dict[str, Dict[Tuple[float, float], float]]:
     """The full Figure 15 sweep: relative improvement over PA for PAPA and LAPA.
 
     Returns ``{"papa": {(alpha, beta): improvement}, "lapa": {...},
-    "uniform_vs_pa": improvement_of_pa_over_uniform}`` where improvements are
-    relative to the PA model (alpha = 1, beta = 0), matching the paper's
-    definition.
+    "pa_over_uniform": improvement_of_pa_over_uniform,
+    "num_links_scored": count}`` where improvements are relative to the PA
+    model (alpha = 1, beta = 0), matching the paper's definition.  Same-seed
+    sweeps are bit-identical per engine.
     """
-    specs: List[AttachmentModelSpec] = []
-    pa_spec = AttachmentModelSpec(kind="pa", alpha=1.0, beta=0.0, label="pa_reference")
-    uniform_spec = AttachmentModelSpec(kind="pa", alpha=0.0, beta=0.0, label="uniform_reference")
-    specs.extend([pa_spec, uniform_spec])
-    for alpha in alphas:
-        for beta in papa_betas:
-            specs.append(AttachmentModelSpec(kind="papa", alpha=alpha, beta=beta))
-        for beta in lapa_betas:
-            specs.append(AttachmentModelSpec(kind="lapa", alpha=alpha, beta=beta))
+    specs = figure15_specs(alphas, papa_betas, lapa_betas)
 
     result = evaluate_attachment_models(
-        history, specs, smoothing=smoothing, max_links=max_links, rng=rng
+        history, specs, smoothing=smoothing, max_links=max_links, rng=rng, engine=engine
     )
     improvements = result.relative_improvement_over("pa_reference")
 
@@ -268,3 +343,8 @@ def _pa_over_uniform(result: LikelihoodResult) -> float:
     if uniform == 0:
         return 0.0
     return (uniform - pa) / uniform
+
+
+engine_registry.register(
+    ATTACHMENT_LIKELIHOOD_OP, evaluate_attachment_models_loop, backend="loop"
+)

@@ -117,3 +117,40 @@ def test_approximate_with_epsilon_nu_defaults(figure1_san):
     )
     exact = average_social_clustering_coefficient(figure1_san)
     assert value == pytest.approx(exact, abs=0.1)
+
+
+class _CountingRng(__import__("random").Random):
+    """Counts randrange calls so tests can pin the number of drawn triples."""
+
+    def __init__(self, seed):
+        super().__init__(seed)
+        self.randrange_calls = 0
+
+    def randrange(self, *args, **kwargs):
+        self.randrange_calls += 1
+        return super().randrange(*args, **kwargs)
+
+
+def test_approximate_draws_exactly_num_samples_triples(clique_san):
+    """Regression for the dead rejection guard: the estimator draws exactly
+    ``num_samples`` triples — a center pick plus two endpoint picks when the
+    center has >= 2 neighbors."""
+    rng = _CountingRng(7)
+    approximate_average_clustering(clique_san, num_samples=100, rng=rng)
+    assert rng.randrange_calls == 3 * 100
+
+
+def test_approximate_low_degree_centers_count_as_samples():
+    """Centers with < 2 neighbors consume one pick and contribute c(u) = 0;
+    they are samples, not rejections, so an edgeless SAN still terminates
+    after exactly ``num_samples`` draws."""
+    san = SAN()
+    for node in range(5):
+        san.add_social_node(node)
+    rng = _CountingRng(11)
+    assert approximate_average_clustering(san, num_samples=50, rng=rng) == 0.0
+    assert rng.randrange_calls == 50
+
+
+def test_approximate_zero_samples_is_zero(figure1_san):
+    assert approximate_average_clustering(figure1_san, num_samples=0, rng=1) == 0.0

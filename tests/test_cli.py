@@ -173,3 +173,94 @@ def test_generate_engines_agree_on_node_count(tmp_path, capsys):
         san = load_san_tsv(f"{prefix}.social.tsv", f"{prefix}.attrs.tsv")
         sizes[engine] = san.number_of_social_nodes()
     assert sizes["loop"] == sizes["vectorized"] == 85
+
+
+def test_likelihood_from_generated_history(tmp_path, capsys):
+    out = tmp_path / "sweep.json"
+    exit_code = main(
+        [
+            "likelihood",
+            "--steps", "300",
+            "--max-links", "200",
+            "--alphas", "0,1",
+            "--papa-betas", "0,2",
+            "--lapa-betas", "0,100",
+            "--out", str(out),
+        ]
+    )
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "Figure 15 attachment-model sweep" in output
+    assert "links scored=" in output
+    import json
+
+    payload = json.loads(out.read_text())
+    assert payload["num_links_scored"] > 0
+    assert "1,100" in payload["lapa"]
+
+
+def test_likelihood_engines_agree_via_cli(capsys):
+    outputs = {}
+    for engine in ("loop", "vectorized"):
+        assert main(
+            [
+                "likelihood",
+                "--steps", "250",
+                "--max-links", "150",
+                "--engine", engine,
+                "--alphas", "0,1",
+                "--papa-betas", "0",
+                "--lapa-betas", "0,100",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        # Drop the header line naming the engine; the numbers must match.
+        outputs[engine] = out.split("\n", 2)[2]
+    assert outputs["loop"] == outputs["vectorized"]
+
+
+def test_likelihood_from_snapshot_pair(tmp_path, capsys, tiny_snapshots):
+    earlier = tiny_snapshots.halfway()
+    later = tiny_snapshots.last()
+    paths = {}
+    for name, san in (("before", earlier), ("after", later)):
+        social = tmp_path / f"{name}.social.tsv"
+        attrs = tmp_path / f"{name}.attrs.tsv"
+        save_san_tsv(san, social, attrs)
+        paths[name] = (social, attrs)
+    exit_code = main(
+        [
+            "likelihood",
+            "--before-social", str(paths["before"][0]),
+            "--before-attributes", str(paths["before"][1]),
+            "--after-social", str(paths["after"][0]),
+            "--after-attributes", str(paths["after"][1]),
+            "--max-links", "300",
+            "--alphas", "1",
+            "--papa-betas", "0",
+            "--lapa-betas", "0,100",
+        ]
+    )
+    assert exit_code == 0
+    assert "snapshot diff" in capsys.readouterr().out
+
+
+def test_likelihood_requires_inputs(capsys):
+    exit_code = main(["likelihood"])
+    assert exit_code == 2
+    assert "--steps or all four snapshot TSVs" in capsys.readouterr().err
+
+
+def test_likelihood_rejects_steps_with_snapshots(tmp_path, capsys):
+    exit_code = main(
+        [
+            "likelihood",
+            "--steps", "100",
+            "--before-social", str(tmp_path / "a.tsv"),
+            "--before-attributes", str(tmp_path / "b.tsv"),
+            "--after-social", str(tmp_path / "c.tsv"),
+            "--after-attributes", str(tmp_path / "d.tsv"),
+        ]
+    )
+    assert exit_code == 2
+    assert "mutually exclusive" in capsys.readouterr().err

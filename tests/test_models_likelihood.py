@@ -1,4 +1,9 @@
-"""Tests for the attachment-model likelihood evaluation (Figure 15 machinery)."""
+"""Tests for the attachment-model likelihood evaluation (Figure 15 machinery).
+
+The semantics tests run against both registered likelihood engines
+(``"loop"`` and ``"vectorized"``) — the contract is that the backends are
+interchangeable: same scored-link set, same per-model log-likelihoods.
+"""
 
 import math
 import random
@@ -13,7 +18,13 @@ from repro.models import (
     evaluate_attachment_models,
     figure15_sweep,
 )
-from repro.models.attachment import LinearAttributePreferentialAttachment
+from repro.models.attachment import (
+    LinearAttributePreferentialAttachment,
+    PowerAttributePreferentialAttachment,
+    PreferentialAttachment,
+)
+
+ENGINES = ("loop", "vectorized")
 
 
 def _toy_history():
@@ -36,6 +47,28 @@ def _toy_history():
     return history
 
 
+def _mid_arrival_history():
+    """A history whose denominators depend on mid-history node arrivals.
+
+    Node 2 joins *between* two scored links and node 7 becomes social only
+    through being a link target — both must enter the normalising sum for
+    later links but not earlier ones.
+    """
+    initial = SAN()
+    initial.add_social_node(0)
+    initial.add_social_node(1)
+    initial.add_social_edge(1, 0)
+    initial.add_attribute_edge(0, "g", attr_type="employer")
+    history = ArrivalHistory(initial=initial)
+    history.record_social_link(0, 1)
+    history.record_node(2)
+    history.record_attribute_link(2, "g", attr_type="employer")
+    history.record_social_link(2, 0)
+    history.record_social_link(1, 7)   # 7 undeclared: not scoreable, becomes social
+    history.record_social_link(0, 7)   # now scoreable; denominator includes 2 and 7
+    return history
+
+
 def test_spec_names_and_attribute_factor():
     pa = AttachmentModelSpec(kind="pa", alpha=1.0)
     assert pa.name == "pa(alpha=1, beta=0)"
@@ -49,53 +82,125 @@ def test_spec_names_and_attribute_factor():
     assert flat_papa.attribute_factor(0.0) == pytest.approx(2.0)
 
 
-def test_evaluate_requires_social_links():
+@pytest.mark.parametrize("engine", ENGINES)
+def test_evaluate_requires_social_links(engine):
     history = ArrivalHistory()
     history.record_node(1)
     with pytest.raises(ValueError):
-        evaluate_attachment_models(history, [AttachmentModelSpec(kind="pa", alpha=1.0)])
+        evaluate_attachment_models(
+            history, [AttachmentModelSpec(kind="pa", alpha=1.0)], engine=engine
+        )
 
 
-def test_loglikelihoods_are_negative_and_finite():
+@pytest.mark.parametrize("engine", ENGINES)
+def test_loglikelihoods_are_negative_and_finite(engine):
     history = _toy_history()
     specs = [
         AttachmentModelSpec(kind="pa", alpha=1.0, label="pa"),
         AttachmentModelSpec(kind="pa", alpha=0.0, label="uniform"),
         AttachmentModelSpec(kind="lapa", alpha=1.0, beta=100.0, label="lapa"),
     ]
-    result = evaluate_attachment_models(history, specs, max_links=None)
+    result = evaluate_attachment_models(history, specs, max_links=None, engine=engine)
     assert result.num_links_scored == 3
     for value in result.log_likelihoods.values():
         assert value < 0
         assert math.isfinite(value)
 
 
-def test_likelihood_matches_bruteforce_for_lapa():
-    """The incremental evaluator must agree with a naive O(V) computation."""
+@pytest.mark.parametrize("engine", ENGINES)
+def test_papa_beta_zero_is_exactly_pa(engine):
+    """PAPA's beta = 0 factor is the constant 2, which cancels in the ratio."""
     history = _toy_history()
-    spec = AttachmentModelSpec(kind="lapa", alpha=1.0, beta=50.0, label="lapa")
-    result = evaluate_attachment_models(history, [spec], smoothing=1.0, max_links=None)
-
-    # Brute force: replay and sum log(w(u,v) / sum_x w(u,x)) over social events.
-    params = AttachmentParameters(alpha=1.0, beta=50.0, smoothing=1.0)
-    model = LinearAttributePreferentialAttachment(params)
-    expected = 0.0
-    for state, event in history.replay():
-        if event.kind != "social":
-            continue
-        source, target = event.first, event.second
-        if state.has_social_edge(source, target) or source == target:
-            continue
-        weights = {
-            node: model.weight(state, source, node)
-            for node in state.social_nodes()
-            if node != source
-        }
-        expected += math.log(weights[target] / sum(weights.values()))
-    assert result.log_likelihoods["lapa"] == pytest.approx(expected, rel=1e-9)
+    for alpha in (0.0, 0.5, 1.0, 2.0):
+        specs = [
+            AttachmentModelSpec(kind="pa", alpha=alpha, label="pa"),
+            AttachmentModelSpec(kind="papa", alpha=alpha, beta=0.0, label="papa0"),
+        ]
+        result = evaluate_attachment_models(
+            history, specs, max_links=None, engine=engine
+        )
+        assert result.log_likelihoods["papa0"] == pytest.approx(
+            result.log_likelihoods["pa"], rel=1e-12, abs=1e-12
+        )
 
 
-def test_pa_beats_uniform_on_preferential_history():
+@pytest.mark.parametrize("engine", ENGINES)
+def test_max_links_none_scores_every_eligible_link(engine):
+    """Duplicates, self-loops and not-yet-social targets are never scored;
+    everything else is when ``max_links=None``."""
+    initial = SAN()
+    for node in range(3):
+        initial.add_social_node(node)
+    initial.add_social_edge(1, 0)
+    history = ArrivalHistory(initial=initial)
+    history.record_social_link(1, 0)   # duplicate of an initial edge
+    history.record_social_link(0, 0)   # self-loop
+    history.record_social_link(0, 9)   # target not social yet
+    history.record_social_link(2, 9)   # 9 became social above -> scored
+    history.record_social_link(0, 2)   # scored
+    history.record_social_link(0, 2)   # duplicate of an event edge
+    result = evaluate_attachment_models(
+        history,
+        [AttachmentModelSpec(kind="pa", alpha=1.0)],
+        max_links=None,
+        engine=engine,
+    )
+    assert result.num_links_scored == 2
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize(
+    "spec, model_factory",
+    [
+        (
+            AttachmentModelSpec(kind="lapa", alpha=1.0, beta=50.0, label="m"),
+            lambda: LinearAttributePreferentialAttachment(
+                AttachmentParameters(alpha=1.0, beta=50.0, smoothing=1.0)
+            ),
+        ),
+        (
+            AttachmentModelSpec(kind="papa", alpha=0.5, beta=2.0, label="m"),
+            lambda: PowerAttributePreferentialAttachment(
+                AttachmentParameters(alpha=0.5, beta=2.0, smoothing=1.0)
+            ),
+        ),
+        (
+            AttachmentModelSpec(kind="pa", alpha=2.0, label="m"),
+            lambda: PreferentialAttachment(alpha=2.0, smoothing=1.0),
+        ),
+    ],
+)
+def test_likelihood_matches_bruteforce(engine, spec, model_factory):
+    """Both engines must agree with a naive O(V)-per-link computation,
+    including denominators affected by mid-history node arrivals."""
+    for history in (_toy_history(), _mid_arrival_history()):
+        result = evaluate_attachment_models(
+            history, [spec], smoothing=1.0, max_links=None, engine=engine
+        )
+
+        model = model_factory()
+        expected = 0.0
+        for state, event in history.replay():
+            if event.kind != "social":
+                continue
+            source, target = event.first, event.second
+            if (
+                not state.is_social_node(target)
+                or state.has_social_edge(source, target)
+                or source == target
+            ):
+                continue
+            weights = {
+                node: model.weight(state, source, node)
+                for node in state.social_nodes()
+                if node != source
+            }
+            expected += math.log(weights[target] / sum(weights.values()))
+        assert result.log_likelihoods["m"] == pytest.approx(expected, rel=1e-9)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_pa_beats_uniform_on_preferential_history(engine):
     """A history dominated by hub attachment should favour PA over uniform."""
     initial = SAN()
     for node in range(3):
@@ -110,7 +215,7 @@ def test_pa_beats_uniform_on_preferential_history():
         AttachmentModelSpec(kind="pa", alpha=1.0, label="pa"),
         AttachmentModelSpec(kind="pa", alpha=0.0, label="uniform"),
     ]
-    result = evaluate_attachment_models(history, specs, max_links=None)
+    result = evaluate_attachment_models(history, specs, max_links=None, engine=engine)
     assert result.log_likelihoods["pa"] > result.log_likelihoods["uniform"]
     improvements = result.relative_improvement_over("uniform")
     assert improvements["pa"] > 0
@@ -124,7 +229,8 @@ def test_relative_improvement_over_baseline_zero_raises():
         result.relative_improvement_over("a")
 
 
-def test_figure15_sweep_structure():
+@pytest.mark.parametrize("engine", ENGINES)
+def test_figure15_sweep_structure(engine):
     history = _toy_history()
     sweep = figure15_sweep(
         history,
@@ -133,6 +239,7 @@ def test_figure15_sweep_structure():
         lapa_betas=(0.0, 100.0),
         max_links=None,
         rng=1,
+        engine=engine,
     )
     assert set(sweep) == {"papa", "lapa", "pa_over_uniform", "num_links_scored"}
     assert (1.0, 100.0) in sweep["lapa"]
