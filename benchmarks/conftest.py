@@ -2,30 +2,31 @@
 
 The benchmarks reproduce every figure of the paper on the synthetic Google+
 substrate.  All expensive inputs (the simulated evolution, the crawled
-snapshot series, the generated model SANs) are session-scoped so each bench
-measures only its own experiment.  Rendered result tables are written to
-``benchmarks/results/`` so the reproduced rows/series are inspectable after a
-run regardless of pytest output capture.
+snapshot series, the generated model SANs) come from the experiment
+pipeline's artifact layer: one session-scoped
+:class:`~repro.experiments.ArtifactResolver` materialises each shared
+artifact exactly once and every fixture below is a thin lookup into it — the
+same artifact DAG ``repro pipeline`` runs, so the benches and the pipeline
+measure identical inputs.  ``BENCH_SCENARIO`` selects the scenario preset
+(default: ``small``, the historical bench workload).  Rendered result tables
+are written to ``benchmarks/results/`` so the reproduced rows/series are
+inspectable after a run regardless of pytest output capture.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
+import os
 from pathlib import Path
+from types import SimpleNamespace
 
 import pytest
 
-from repro.crawler import crawl_evolution
-from repro.models import (
-    SANModelParameters,
-    ZhelModelParameters,
-    estimate_parameters,
-    generate_san,
-    generate_zhel_san,
-)
-from repro.synthetic import BENCH_SEED, build_workload, small_config
+from repro.experiments import ArtifactResolver, get_scenario
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Scenario preset every measurement bench runs under.
+BENCH_SCENARIO = os.environ.get("BENCH_SCENARIO", "small")
 
 
 @pytest.fixture(scope="session")
@@ -45,68 +46,68 @@ def write_result(results_dir):
 
 
 @pytest.fixture(scope="session")
-def workload():
+def scenario():
+    """The scenario preset the whole bench session runs under."""
+    return get_scenario(BENCH_SCENARIO)
+
+
+@pytest.fixture(scope="session")
+def artifacts(scenario) -> ArtifactResolver:
+    """Session-shared artifact resolver (in-memory; each input built once)."""
+    return ArtifactResolver(scenario)
+
+
+@pytest.fixture(scope="session")
+def evolution(artifacts):
     """The simulated Google+ evolution used by every measurement bench."""
-    return build_workload(small_config(), rng=BENCH_SEED, snapshot_count=14)
+    return artifacts.artifact("evolution")
 
 
 @pytest.fixture(scope="session")
-def evolution(workload):
-    return workload.evolution
-
-
-@pytest.fixture(scope="session")
-def snapshot_series(workload):
+def snapshot_series(artifacts):
     """Crawled daily snapshots (the analogue of the paper's 79 crawls)."""
-    return crawl_evolution(workload.evolution, workload.snapshot_days)
+    return artifacts.artifact("snapshot_series")
 
 
 @pytest.fixture(scope="session")
-def snapshots(snapshot_series):
-    return list(snapshot_series)
+def snapshots(artifacts):
+    return artifacts.artifact("snapshots")
 
 
 @pytest.fixture(scope="session")
-def reference_san(snapshot_series):
+def reference_san(artifacts):
     """The last crawled snapshot — the reference the models are fitted against."""
-    return snapshot_series.last()
+    return artifacts.artifact("reference_san")
 
 
 @pytest.fixture(scope="session")
-def halfway_san(snapshot_series):
-    return snapshot_series.halfway()
+def halfway_san(artifacts):
+    return artifacts.artifact("halfway_san")
 
 
 @pytest.fixture(scope="session")
-def estimated_parameters(reference_san):
+def estimated_parameters(artifacts):
     """Model parameters estimated from the reference SAN (guided initialisation)."""
-    return estimate_parameters(reference_san, mean_sleep=2.0, beta=200.0).parameters
+    return artifacts.artifact("estimated_parameters")
 
 
 @pytest.fixture(scope="session")
-def model_run(estimated_parameters):
-    """Our model fitted to the reference SAN."""
-    return generate_san(estimated_parameters, rng=BENCH_SEED, record_history=True)
+def model_run(artifacts):
+    """Our model fitted to the reference SAN (``.san`` view of the artifact)."""
+    return SimpleNamespace(san=artifacts.artifact("model_san"))
 
 
 @pytest.fixture(scope="session")
-def model_run_no_focal(estimated_parameters):
-    params = replace(estimated_parameters, use_focal_closure=False)
-    return generate_san(params, rng=BENCH_SEED, record_history=False)
+def model_run_no_focal(artifacts):
+    return SimpleNamespace(san=artifacts.artifact("model_no_focal_san"))
 
 
 @pytest.fixture(scope="session")
-def model_run_no_lapa(estimated_parameters):
-    params = replace(estimated_parameters, use_lapa=False)
-    return generate_san(params, rng=BENCH_SEED, record_history=False)
+def model_run_no_lapa(artifacts):
+    return SimpleNamespace(san=artifacts.artifact("model_no_lapa_san"))
 
 
 @pytest.fixture(scope="session")
-def zhel_run(estimated_parameters):
+def zhel_run(artifacts):
     """The directed Zhel baseline sized to the same number of social nodes."""
-    params = ZhelModelParameters(
-        steps=estimated_parameters.steps,
-        reciprocation_probability=estimated_parameters.reciprocation_probability,
-        mean_groups_per_node=2.0,
-    )
-    return generate_zhel_san(params, rng=BENCH_SEED, record_history=False)
+    return SimpleNamespace(san=artifacts.artifact("zhel_san"))

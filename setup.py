@@ -27,4 +27,5 @@ setup(
     python_requires=">=3.10",
     install_requires=["numpy"],
     extras_require={"fast": ["scipy"]},
+    entry_points={"console_scripts": ["repro=repro.cli:main"]},
 )

@@ -1,6 +1,6 @@
 """Command-line interface for the SAN reproduction library.
 
-Six subcommands cover the common workflows without writing any Python:
+Seven subcommands cover the common workflows without writing any Python:
 
 * ``simulate``  — run the synthetic Google+ evolution and save the final SAN
   (or a chosen day's snapshot) as a TSV pair.
@@ -16,6 +16,10 @@ Six subcommands cover the common workflows without writing any Python:
 * ``likelihood`` — the Figure 15 sweep: score PA/PAPA/LAPA attachment models
   against observed link arrivals, either diffed from two SAN snapshots or
   from a freshly generated Algorithm 1 history.
+* ``pipeline``  — reproduce the paper's whole evaluation (Figures 2-19 plus
+  Sections 2.2/5.2) from one scenario config: every shared artifact is
+  materialized exactly once, cached content-addressed on disk, and the
+  stages run over the artifact DAG (optionally in parallel).
 
 Examples
 --------
@@ -29,6 +33,8 @@ Examples
     python -m repro likelihood --steps 2000 --max-links 1000
     python -m repro likelihood --before-social day40.social.tsv --before-attributes day40.attrs.tsv \
         --after-social day98.social.tsv --after-attributes day98.attrs.tsv
+    repro pipeline --scenario paper-default --jobs 4 --cache-dir ~/.cache/repro --out results/
+    repro pipeline --scenario tiny --figures fig04,fig15
 """
 
 from __future__ import annotations
@@ -187,6 +193,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     likelihood.add_argument(
         "--out", default=None, help="also write the sweep as JSON to this file"
+    )
+
+    pipeline_help = (
+        "reproduce the full figure suite (Figures 2-19, Sections 2.2/5.2) "
+        "from one scenario config over the artifact DAG: shared inputs are "
+        "materialized once, cached content-addressed on disk, and independent "
+        "stages may run in parallel"
+    )
+    pipeline = subparsers.add_parser(
+        "pipeline", help=pipeline_help, description=pipeline_help
+    )
+    pipeline.add_argument(
+        "--scenario",
+        default="paper-default",
+        help="scenario preset (see --list for the registry)",
+    )
+    pipeline.add_argument(
+        "--figures",
+        default=None,
+        help="comma-separated stage names to run (default: the full suite)",
+    )
+    pipeline.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker threads for stage execution (stages are independent "
+        "once the artifacts are materialized)",
+    )
+    pipeline.add_argument(
+        "--cache-dir",
+        default=None,
+        help="content-addressed artifact cache root; a warm cache reruns "
+        "the whole suite without recomputing any artifact",
+    )
+    pipeline.add_argument(
+        "--out",
+        default=None,
+        help="write manifest.json, report.txt and per-stage renderings here",
+    )
+    pipeline.add_argument(
+        "--list",
+        action="store_true",
+        help="list the registered scenarios and stages, then exit",
     )
 
     return parser
@@ -358,6 +407,64 @@ def _command_likelihood(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_pipeline(args: argparse.Namespace) -> int:
+    from .experiments import (
+        UnknownArtifactError,
+        UnknownExperimentError,
+        UnknownScenarioError,
+        experiment_stages,
+        get_scenario,
+        run_pipeline,
+        scenario_names,
+    )
+
+    if args.list:
+        print("scenarios:")
+        for name in scenario_names():
+            print(f"  {name:<18} {get_scenario(name).description}")
+        print("stages:")
+        for stage in experiment_stages().values():
+            print(f"  {stage.name:<10} {stage.title}  [needs: {', '.join(stage.needs)}]")
+        return 0
+
+    figures = None
+    if args.figures:
+        figures = [part.strip() for part in args.figures.split(",") if part.strip()]
+    try:
+        result = run_pipeline(
+            args.scenario,
+            figures=figures,
+            jobs=max(1, args.jobs),
+            cache_dir=args.cache_dir,
+            out_dir=args.out,
+        )
+    except (UnknownScenarioError, UnknownExperimentError, UnknownArtifactError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    manifest = result.manifest()
+    print(
+        f"pipeline scenario={result.scenario.name} jobs={result.jobs} "
+        f"stages={len(result.stages)}"
+    )
+    print(f"{'artifact':<26} {'status':<8} {'seconds':>9}")
+    for event in manifest["artifacts"]:
+        status = event["status"] if event["persistent"] else "view"
+        print(f"{event['name']:<26} {status:<8} {event['seconds']:>9.3f}")
+    print(f"{'stage':<26} {'seconds':>9}")
+    for stage in manifest["stages"]:
+        print(f"{stage['name']:<26} {stage['seconds']:>9.3f}")
+    cache = manifest["cache"]
+    print(
+        f"artifacts: {cache['hits']} cached, {cache['builds']} built, "
+        f"{cache['views']} views; artifact time {manifest['artifact_seconds']:.3f}s; "
+        f"total {manifest['total_seconds']:.3f}s"
+    )
+    if result.out_dir is not None:
+        print(f"wrote {result.out_dir}/manifest.json and per-stage reports")
+    return 0
+
+
 _COMMANDS = {
     "simulate": _command_simulate,
     "measure": _command_measure,
@@ -365,6 +472,7 @@ _COMMANDS = {
     "estimate": _command_estimate,
     "generate": _command_generate,
     "likelihood": _command_likelihood,
+    "pipeline": _command_pipeline,
 }
 
 

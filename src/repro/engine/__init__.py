@@ -22,6 +22,7 @@ from .registry import (
     configure,
     dispatch,
     dispatchable,
+    frozen_view,
     graph_size,
     kernel,
     kernels_for,
@@ -45,6 +46,7 @@ __all__ = [
     "deps",
     "dispatch",
     "dispatchable",
+    "frozen_view",
     "graph_size",
     "kernel",
     "kernels_for",

@@ -288,7 +288,15 @@ _frozen_views: "weakref.WeakKeyDictionary[Any, Tuple[int, Any]]" = (
 )
 
 
-def _frozen_view(graph: Any) -> Optional[Any]:
+def frozen_view(graph: Any) -> Optional[Any]:
+    """A cached frozen view of ``graph`` (freeze-once, validated by version).
+
+    Returns ``None`` when the graph cannot be frozen (no ``freeze`` method).
+    Frozen inputs are returned unchanged (``freeze()`` is the identity on
+    them), so callers can use this to normalise mixed-backend collections —
+    e.g. :func:`repro.metrics.evolution.ensure_frozen_snapshots` freezes a
+    mutable snapshot sequence exactly once before running series kernels.
+    """
     freeze = getattr(graph, "freeze", None)
     if freeze is None:
         return None
@@ -323,7 +331,7 @@ def dispatch(op: str, graph: Any, *args: Any, **kwargs: Any) -> Any:
         if threshold is not None and graph_size(graph) >= threshold:
             entry = _select(op, FROZEN)
             if entry is not None:
-                frozen = _frozen_view(graph)
+                frozen = frozen_view(graph)
                 if frozen is not None:
                     return entry.fn(frozen, *args, **kwargs)
         entry = _select(op, MUTABLE)

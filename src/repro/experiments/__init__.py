@@ -1,50 +1,109 @@
-"""Experiment drivers (one per paper figure) and plain-text reporting."""
+"""The experiment pipeline: figure drivers, artifact DAG, scenarios, runner.
 
-from .figures import (
-    figure2_3_growth,
-    figure4_evolution,
-    figure5_degree_distributions,
-    figure6_lognormal_parameter_evolution,
-    figure7_social_jdd,
-    figure8_attribute_structure,
-    figure9_clustering_distributions,
-    figure10_attribute_degrees,
-    figure11_attribute_fit_evolution,
-    figure12_attribute_jdd,
-    figure13_influence,
-    figure14_degree_by_attribute_value,
-    figure15_attachment_comparison,
-    figure16_model_degree_distributions,
-    figure17_jdd_and_clustering,
-    figure18_ablations,
-    figure19_applications,
-    section22_crawl_coverage,
-    section52_closure_comparison,
+Importing this package registers every figure/section driver as a pipeline
+stage (see :mod:`.figures` and :mod:`.registry`) and every shared input as an
+artifact node (see :mod:`.artifacts`).  The figure functions are re-exported
+here straight from the stage registry — there is no hand-maintained export
+list to fall out of sync with the figures module.
+"""
+
+from . import figures as _figures  # registers every stage on import
+from .artifacts import (
+    ArtifactCycleError,
+    ArtifactError,
+    ArtifactResolver,
+    ArtifactSpec,
+    ArtifactStore,
+    UnknownArtifactError,
+    artifact,
+    artifact_names,
+    artifact_spec,
+    artifact_topological_order,
+    register_artifact,
+    unregister_artifact,
 )
-from .report import format_distribution, format_series, format_table, series_trend
+from .registry import (
+    DuplicateExperimentError,
+    ExperimentStage,
+    UnknownExperimentError,
+    experiment,
+    experiment_names,
+    experiment_stages,
+    get_experiment,
+    register_experiment,
+    unregister_experiment,
+)
+from .report import (
+    format_distribution,
+    format_series,
+    format_table,
+    render_payload,
+    series_trend,
+)
+from .runner import (
+    PipelineResult,
+    StageResult,
+    canonical_json,
+    canonical_payload,
+    pipeline_artifact_plan,
+    run_pipeline,
+    select_stages,
+    write_outputs,
+)
+from .scenarios import (
+    DEFAULT_FIGURE_SEED,
+    Scenario,
+    UnknownScenarioError,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
 
-__all__ = [
-    "figure2_3_growth",
-    "figure4_evolution",
-    "figure5_degree_distributions",
-    "figure6_lognormal_parameter_evolution",
-    "figure7_social_jdd",
-    "figure8_attribute_structure",
-    "figure9_clustering_distributions",
-    "figure10_attribute_degrees",
-    "figure11_attribute_fit_evolution",
-    "figure12_attribute_jdd",
-    "figure13_influence",
-    "figure14_degree_by_attribute_value",
-    "figure15_attachment_comparison",
-    "figure16_model_degree_distributions",
-    "figure17_jdd_and_clustering",
-    "figure18_ablations",
-    "figure19_applications",
-    "section22_crawl_coverage",
-    "section52_closure_comparison",
+# Re-export every registered figure/section driver from the stage registry.
+_DRIVER_NAMES = []
+for _stage in experiment_stages().values():
+    globals()[_stage.fn.__name__] = _stage.fn
+    _DRIVER_NAMES.append(_stage.fn.__name__)
+
+__all__ = sorted(_DRIVER_NAMES) + [
+    "ArtifactCycleError",
+    "ArtifactError",
+    "ArtifactResolver",
+    "ArtifactSpec",
+    "ArtifactStore",
+    "DEFAULT_FIGURE_SEED",
+    "DuplicateExperimentError",
+    "ExperimentStage",
+    "PipelineResult",
+    "Scenario",
+    "StageResult",
+    "UnknownArtifactError",
+    "UnknownExperimentError",
+    "UnknownScenarioError",
+    "artifact",
+    "artifact_names",
+    "artifact_spec",
+    "artifact_topological_order",
+    "canonical_json",
+    "canonical_payload",
+    "experiment",
+    "experiment_names",
+    "experiment_stages",
     "format_distribution",
     "format_series",
     "format_table",
+    "get_experiment",
+    "get_scenario",
+    "pipeline_artifact_plan",
+    "register_artifact",
+    "register_experiment",
+    "register_scenario",
+    "render_payload",
+    "run_pipeline",
+    "scenario_names",
+    "select_stages",
     "series_trend",
+    "unregister_artifact",
+    "unregister_experiment",
+    "write_outputs",
 ]

@@ -6,12 +6,21 @@ data (dicts of series / tables) that the benchmark harness prints and
 EXPERIMENTS.md records.  Inputs are the crawled snapshot series and the
 ground-truth evolution produced by the synthetic Google+ substrate, plus
 generated SANs for the model-evaluation figures.
+
+Every driver doubles as a pipeline stage: the :func:`~.registry.experiment`
+decorator declares which shared artifacts (:mod:`repro.experiments.artifacts`)
+its leading positional arguments are, so ``repro pipeline`` can schedule the
+whole suite over one artifact DAG.  Called directly, the functions behave as
+before.  Sampled estimators default to the documented
+:data:`~repro.experiments.scenarios.DEFAULT_FIGURE_SEED` (instead of system
+entropy) so bare reruns are reproducible; pass ``rng=None`` explicitly to
+sample from entropy.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..applications.anonymity import AnonymityParameters, attack_probability_vs_compromised
 from ..applications.sybil import SybilLimitParameters, sybil_identities_vs_compromised
@@ -56,6 +65,8 @@ from ..models.san_model import SANModelRun
 from ..models.triangle_closing import evaluate_closure_models
 from ..synthetic.gplus import GroundTruthEvolution
 from ..utils.rng import RngLike, ensure_rng
+from .registry import experiment
+from .scenarios import DEFAULT_FIGURE_SEED
 
 Snapshots = Sequence[Tuple[int, SAN]]
 
@@ -63,11 +74,15 @@ Snapshots = Sequence[Tuple[int, SAN]]
 # ----------------------------------------------------------------------
 # Section 2 / Figures 2-3: growth and crawl coverage
 # ----------------------------------------------------------------------
+# Growth reads O(1) counters only, so the plain snapshot views suffice —
+# no need to materialise frozen CSR rebuilds for this stage.
+@experiment("fig02_03", needs=("snapshots",))
 def figure2_3_growth(snapshots: Snapshots) -> Dict[str, List[Tuple[int, float]]]:
     """Growth of social/attribute nodes and links over time."""
     return growth_series(snapshots)
 
 
+@experiment("sec22", needs=("snapshot_series",))
 def section22_crawl_coverage(series: SnapshotSeries) -> Dict[int, float]:
     """Crawl coverage per snapshot day (paper: >= 70%)."""
     return dict(series.coverage)
@@ -76,11 +91,12 @@ def section22_crawl_coverage(series: SnapshotSeries) -> Dict[int, float]:
 # ----------------------------------------------------------------------
 # Figure 4: reciprocity, density, diameter, clustering evolution
 # ----------------------------------------------------------------------
+@experiment("fig04", needs=("frozen_snapshots",))
 def figure4_evolution(
     snapshots: Snapshots,
     clustering_samples: int = 4000,
     diameter_precision: int = 6,
-    rng: RngLike = None,
+    rng: RngLike = DEFAULT_FIGURE_SEED,
 ) -> Dict[str, object]:
     """The four Figure 4 panels plus the Section 3.3 distance distribution."""
     generator = ensure_rng(rng)
@@ -101,6 +117,7 @@ def figure4_evolution(
 # ----------------------------------------------------------------------
 # Figures 5-6: social degree distributions and their lognormal fits
 # ----------------------------------------------------------------------
+@experiment("fig05", needs=("frozen_reference",))
 def figure5_degree_distributions(san: SAN) -> Dict[str, object]:
     """Out/in-degree distributions with best-fit family and lognormal parameters."""
     result: Dict[str, object] = {}
@@ -123,6 +140,7 @@ def figure5_degree_distributions(san: SAN) -> Dict[str, object]:
     return result
 
 
+@experiment("fig06", needs=("frozen_snapshots",))
 def figure6_lognormal_parameter_evolution(snapshots: Snapshots) -> Dict[str, List[Tuple[int, float, float]]]:
     """Evolution of the fitted lognormal (mu, sigma) for out/in degrees."""
     out_sequences = [(day, social_out_degrees(san)) for day, san in snapshots]
@@ -136,6 +154,7 @@ def figure6_lognormal_parameter_evolution(snapshots: Snapshots) -> Dict[str, Lis
 # ----------------------------------------------------------------------
 # Figures 7 and 12: joint degree distributions and assortativity
 # ----------------------------------------------------------------------
+@experiment("fig07", needs=("frozen_reference", "frozen_snapshots"))
 def figure7_social_jdd(san: SAN, snapshots: Snapshots) -> Dict[str, object]:
     return {
         "knn": social_knn(san),
@@ -143,6 +162,7 @@ def figure7_social_jdd(san: SAN, snapshots: Snapshots) -> Dict[str, object]:
     }
 
 
+@experiment("fig12", needs=("frozen_reference", "frozen_snapshots"))
 def figure12_attribute_jdd(san: SAN, snapshots: Snapshots) -> Dict[str, object]:
     return {
         "knn": attribute_knn(san),
@@ -153,8 +173,11 @@ def figure12_attribute_jdd(san: SAN, snapshots: Snapshots) -> Dict[str, object]:
 # ----------------------------------------------------------------------
 # Figures 8-9: attribute density / clustering structure
 # ----------------------------------------------------------------------
+@experiment("fig08", needs=("frozen_snapshots",))
 def figure8_attribute_structure(
-    snapshots: Snapshots, clustering_samples: int = 4000, rng: RngLike = None
+    snapshots: Snapshots,
+    clustering_samples: int = 4000,
+    rng: RngLike = DEFAULT_FIGURE_SEED,
 ) -> Dict[str, object]:
     generator = ensure_rng(rng)
     return {
@@ -165,8 +188,9 @@ def figure8_attribute_structure(
     }
 
 
+@experiment("fig09", needs=("frozen_reference",))
 def figure9_clustering_distributions(
-    san: SAN, subsample_keep: float = 0.5, rng: RngLike = None
+    san: SAN, subsample_keep: float = 0.5, rng: RngLike = DEFAULT_FIGURE_SEED
 ) -> Dict[str, object]:
     """Clustering coefficient vs degree, plus the Section 4.3 subsampling check."""
     generator = ensure_rng(rng)
@@ -181,6 +205,7 @@ def figure9_clustering_distributions(
 # ----------------------------------------------------------------------
 # Figures 10-11: attribute degree distributions and fits
 # ----------------------------------------------------------------------
+@experiment("fig10", needs=("frozen_reference",))
 def figure10_attribute_degrees(san: SAN) -> Dict[str, object]:
     attribute_degrees = [d for d in attribute_degrees_of_social_nodes(san) if d >= 1]
     attribute_social = [d for d in social_degrees_of_attribute_nodes(san) if d >= 1]
@@ -201,6 +226,7 @@ def figure10_attribute_degrees(san: SAN) -> Dict[str, object]:
     }
 
 
+@experiment("fig11", needs=("frozen_snapshots",))
 def figure11_attribute_fit_evolution(snapshots: Snapshots) -> Dict[str, object]:
     attr_sequences = [(day, attribute_degrees_of_social_nodes(san)) for day, san in snapshots]
     social_sequences = [(day, social_degrees_of_attribute_nodes(san)) for day, san in snapshots]
@@ -213,6 +239,7 @@ def figure11_attribute_fit_evolution(snapshots: Snapshots) -> Dict[str, object]:
 # ----------------------------------------------------------------------
 # Figures 13-14: influence of attributes on the social structure
 # ----------------------------------------------------------------------
+@experiment("fig13", needs=("halfway_san", "reference_san"))
 def figure13_influence(earlier: SAN, later: SAN) -> Dict[str, object]:
     fine = fine_grained_reciprocity(earlier, later)
     return {
@@ -227,6 +254,7 @@ def figure13_influence(earlier: SAN, later: SAN) -> Dict[str, object]:
     }
 
 
+@experiment("fig14", needs=("reference_san",))
 def figure14_degree_by_attribute_value(san: SAN, top_values: int = 4) -> Dict[str, object]:
     return {
         attr_type: [
@@ -247,6 +275,7 @@ def figure14_degree_by_attribute_value(san: SAN, top_values: int = 4) -> Dict[st
 # ----------------------------------------------------------------------
 # Figure 15 and Section 5.2: attachment and closure model comparisons
 # ----------------------------------------------------------------------
+@experiment("fig15", needs=("arrival_history",))
 def figure15_attachment_comparison(
     history: ArrivalHistory,
     alphas: Sequence[float] = (0.0, 0.5, 1.0, 1.5, 2.0),
@@ -267,12 +296,13 @@ def figure15_attachment_comparison(
     )
 
 
+@experiment("sec52", needs=("evolution",))
 def section52_closure_comparison(
     evolution: GroundTruthEvolution,
     split_day: Optional[int] = None,
     max_edges: int = 1500,
     focal_weight: float = 1.0,
-    rng: RngLike = None,
+    rng: RngLike = DEFAULT_FIGURE_SEED,
 ) -> Dict[str, object]:
     """Closure-type breakdown plus the Baseline / RR / RR-SAN comparison."""
     generator = ensure_rng(rng)
@@ -351,6 +381,7 @@ def _degree_fit_summary(san: SAN) -> Dict[str, object]:
     return summary
 
 
+@experiment("fig16", needs=("frozen_reference", "frozen_model_san", "frozen_zhel_san"))
 def figure16_model_degree_distributions(
     reference: SAN, model_san: SAN, zhel_san: SAN
 ) -> Dict[str, object]:
@@ -362,6 +393,7 @@ def figure16_model_degree_distributions(
     }
 
 
+@experiment("fig17", needs=("frozen_model_san", "frozen_zhel_san", "frozen_reference"))
 def figure17_jdd_and_clustering(model_san: SAN, zhel_san: SAN, reference: SAN) -> Dict[str, object]:
     return {
         "reference": {
@@ -382,10 +414,18 @@ def figure17_jdd_and_clustering(model_san: SAN, zhel_san: SAN, reference: SAN) -
     }
 
 
+@experiment("fig18", needs=("frozen_model_san", "frozen_model_no_lapa_san", "frozen_model_no_focal_san"))
 def figure18_ablations(
-    full_run: SANModelRun, no_lapa_san: SAN, no_focal_san: SAN
+    full_run: Union[SANModelRun, SAN], no_lapa_san: SAN, no_focal_san: SAN
 ) -> Dict[str, object]:
-    """Effect of removing LAPA (in-degree family) and focal closure (attribute clustering)."""
+    """Effect of removing LAPA (in-degree family) and focal closure (attribute clustering).
+
+    ``full_run`` may be a :class:`~repro.models.san_model.SANModelRun` (the
+    historical signature) or a bare SAN (the pipeline's ``model_san``
+    artifact); only the generated SAN is consulted either way.
+    """
+    full_san = getattr(full_run, "san", full_run)
+
     def indegree_fits(san: SAN) -> Dict[str, float]:
         degrees = [d for d in social_in_degrees(san) if d >= 1]
         lognormal = fit_lognormal(degrees)
@@ -403,8 +443,8 @@ def figure18_ablations(
 
     return {
         "full": {
-            "indegree": indegree_fits(full_run.san),
-            "mean_attribute_clustering": mean_attribute_clustering(full_run.san),
+            "indegree": indegree_fits(full_san),
+            "mean_attribute_clustering": mean_attribute_clustering(full_san),
         },
         "without_lapa": {
             "indegree": indegree_fits(no_lapa_san),
@@ -420,13 +460,14 @@ def figure18_ablations(
 # ----------------------------------------------------------------------
 # Figure 19: application fidelity
 # ----------------------------------------------------------------------
+@experiment("fig19", needs=("frozen_reference", "frozen_model_san", "frozen_zhel_san", "frozen_model_no_focal_san"))
 def figure19_applications(
     reference: SAN,
     model_san: SAN,
     zhel_san: SAN,
     model_no_focal_san: Optional[SAN] = None,
     compromised_counts: Optional[Sequence[int]] = None,
-    rng: RngLike = None,
+    rng: RngLike = DEFAULT_FIGURE_SEED,
 ) -> Dict[str, object]:
     """SybilLimit and anonymous-communication comparisons across topologies."""
     generator = ensure_rng(rng)

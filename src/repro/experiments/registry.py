@@ -1,0 +1,123 @@
+"""Experiment-stage registry: figures and sections as declared DAG stages.
+
+Every ``figure*`` / ``section*`` driver in :mod:`repro.experiments.figures`
+registers itself with the :func:`experiment` decorator, declaring the shared
+pipeline artifacts it consumes::
+
+    @experiment("fig07", needs=("frozen_reference", "frozen_snapshots"))
+    def figure7_social_jdd(san, snapshots): ...
+
+The declaration replaces the hand-rolled export list the package used to keep
+by hand: :mod:`repro.experiments` re-exports every registered driver straight
+from this registry, and :mod:`repro.experiments.runner` uses the declared
+``needs`` to schedule stages topologically over the artifact DAG
+(:mod:`repro.experiments.artifacts`), materialising each shared input exactly
+once per run.
+
+``needs`` entries map *positionally* onto the function's leading parameters;
+scenario-dependent keyword options (sample counts, seeds) are supplied by the
+runner from :meth:`repro.experiments.scenarios.Scenario.stage_options`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+
+class ExperimentRegistryError(Exception):
+    """Base class for experiment-registry errors."""
+
+
+class UnknownExperimentError(ExperimentRegistryError, KeyError):
+    """No experiment stage is registered under the requested name."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.name = name
+
+    def __str__(self) -> str:
+        return (
+            f"unknown experiment stage {self.name!r}; "
+            f"known stages: {', '.join(experiment_names())}"
+        )
+
+
+class DuplicateExperimentError(ExperimentRegistryError, ValueError):
+    """An experiment stage name was registered twice."""
+
+
+@dataclass(frozen=True)
+class ExperimentStage:
+    """One registered figure/section driver with its declared inputs.
+
+    ``needs`` names artifacts from :mod:`repro.experiments.artifacts`; the
+    runner resolves them and passes them as the stage function's leading
+    positional arguments, in declaration order.
+    """
+
+    name: str
+    fn: Callable[..., object]
+    needs: Tuple[str, ...]
+    title: str
+
+
+#: name -> stage, in registration order (which follows the paper's figures).
+_STAGES: Dict[str, ExperimentStage] = {}
+
+
+def register_experiment(
+    name: str,
+    fn: Callable[..., object],
+    needs: Sequence[str] = (),
+    title: Optional[str] = None,
+) -> ExperimentStage:
+    """Register ``fn`` as the experiment stage ``name`` (functional form)."""
+    if name in _STAGES:
+        raise DuplicateExperimentError(f"experiment stage {name!r} already registered")
+    if title is None:
+        doc = (fn.__doc__ or "").strip()
+        title = doc.splitlines()[0].rstrip(".") if doc else name
+    stage = ExperimentStage(name=name, fn=fn, needs=tuple(needs), title=title)
+    _STAGES[name] = stage
+    return stage
+
+
+def experiment(
+    name: str, needs: Sequence[str] = (), title: Optional[str] = None
+) -> Callable[[Callable[..., object]], Callable[..., object]]:
+    """Decorator: register the function as a pipeline stage, unchanged.
+
+    The decorated function stays directly callable with its normal signature;
+    registration only records it (plus its artifact ``needs``) for the
+    pipeline runner and the package's generated exports.
+    """
+
+    def decorator(fn: Callable[..., object]) -> Callable[..., object]:
+        register_experiment(name, fn, needs=needs, title=title)
+        return fn
+
+    return decorator
+
+
+def unregister_experiment(name: str) -> None:
+    """Remove a registered stage (test hook; unknown names are ignored)."""
+    _STAGES.pop(name, None)
+
+
+def get_experiment(name: str) -> ExperimentStage:
+    """The registered stage called ``name``."""
+    try:
+        return _STAGES[name]
+    except KeyError:
+        raise UnknownExperimentError(name) from None
+
+
+def experiment_stages() -> Dict[str, ExperimentStage]:
+    """All registered stages, in registration (figure) order."""
+    return dict(_STAGES)
+
+
+def experiment_names() -> List[str]:
+    """Names of every registered stage, in registration order."""
+    return list(_STAGES)

@@ -70,6 +70,57 @@ def format_distribution(
     return format_series(points, x_label=x_label, y_label=y_label, title=title, precision=6)
 
 
+def _is_numeric_pair_series(value: object) -> bool:
+    return (
+        isinstance(value, (list, tuple))
+        and len(value) > 0
+        and all(
+            isinstance(point, (list, tuple))
+            and len(point) == 2
+            and all(isinstance(part, (int, float)) for part in point)
+            for point in value
+        )
+    )
+
+
+def render_payload(payload: object, title: Optional[str] = None, indent: int = 0) -> str:
+    """Render an arbitrary experiment payload as plain text.
+
+    The pipeline runner uses this to turn every stage's returned data (nested
+    dicts of series, tables, and scalars) into the same aligned-text tables
+    the figure benches write, without each stage declaring its own renderer:
+
+    * a sequence of numeric ``(x, y)`` pairs becomes :func:`format_series`;
+    * a mapping recurses with ``title — key`` section headers;
+    * scalars and everything else render as ``key: value`` lines.
+    """
+    prefix = "  " * indent
+    if _is_numeric_pair_series(payload):
+        series = [(float(x), float(y)) for x, y in payload]  # type: ignore[union-attr]
+        rendered = format_series(series, title=title)
+        return "\n".join(prefix + line for line in rendered.splitlines())
+    if isinstance(payload, Mapping):
+        lines: List[str] = []
+        if title:
+            lines.append(prefix + title)
+        for key, value in payload.items():
+            label = str(key)
+            inner = render_payload(value, title=label, indent=indent + 1)
+            if isinstance(value, Mapping) or _is_numeric_pair_series(value):
+                lines.append(inner)
+                lines.append("")
+            else:
+                lines.append(inner)
+        while lines and not lines[-1]:
+            lines.pop()
+        return "\n".join(lines)
+    if title is None:
+        return prefix + repr(payload)
+    if isinstance(payload, float):
+        return f"{prefix}{title}: {payload:.6g}"
+    return f"{prefix}{title}: {payload!r}"
+
+
 def series_trend(series: Sequence[Tuple[float, float]]) -> str:
     """A one-word trend summary ('increasing', 'decreasing', 'flat') of a series."""
     if len(series) < 2:

@@ -1,0 +1,256 @@
+"""The pipeline runner: one command reproduces the paper's full evaluation.
+
+:func:`run_pipeline` takes a scenario (name or
+:class:`~repro.experiments.scenarios.Scenario`), selects the requested stages
+from the experiment registry, topologically materialises every artifact they
+declare (freeze-once, content-addressed disk cache), and executes the stages
+— optionally in parallel, since stages only depend on artifacts and never on
+each other.  Each stage's returned payload is rendered to the same aligned
+text tables the figure benches write (via
+:func:`~repro.experiments.report.render_payload`), and the whole run is
+summarised in a JSON manifest: per-stage timings, per-artifact cache status
+(built vs cached), and the scenario token that keyed the cache.
+
+Output layout (``out_dir``)::
+
+    manifest.json     run summary (stages, artifacts, timings, scenario)
+    report.txt        every stage's rendered tables, concatenated
+    <stage>.txt       one rendered file per stage (fig04.txt, sec52.txt, ...)
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from .artifacts import ArtifactResolver, artifact_topological_order
+from .registry import ExperimentStage, experiment_stages, get_experiment
+from .report import render_payload
+from .scenarios import Scenario, get_scenario
+
+
+def canonical_payload(payload: Any) -> Any:
+    """A JSON-compatible canonical form of a stage payload.
+
+    Tuples become lists and non-string mapping keys become strings (tuple
+    keys like Figure 15's ``(alpha, beta)`` join with a comma), recursively.
+    Two payloads are byte-identical iff their canonical JSON dumps are — the
+    parity contract between pipeline runs and direct figure calls.
+    """
+    if isinstance(payload, Mapping):
+        return {_canonical_key(key): canonical_payload(value) for key, value in payload.items()}
+    if isinstance(payload, (list, tuple)):
+        return [canonical_payload(item) for item in payload]
+    return payload
+
+
+def _canonical_key(key: Any) -> str:
+    if isinstance(key, str):
+        return key
+    if isinstance(key, tuple):
+        return ",".join(f"{part:g}" if isinstance(part, float) else str(part) for part in key)
+    return str(key)
+
+
+def canonical_json(payload: Any) -> str:
+    """Canonical JSON text of a stage payload (sorted keys, no whitespace)."""
+    return json.dumps(canonical_payload(payload), sort_keys=True, separators=(",", ":"))
+
+
+@dataclass
+class StageResult:
+    """One executed pipeline stage: payload, rendering, timing."""
+
+    name: str
+    title: str
+    needs: Sequence[str]
+    payload: Any
+    rendered: str
+    seconds: float
+
+
+@dataclass
+class PipelineResult:
+    """A completed pipeline run."""
+
+    scenario: Scenario
+    stages: Dict[str, StageResult]
+    resolver: ArtifactResolver
+    jobs: int
+    artifact_seconds: float
+    total_seconds: float
+    out_dir: Optional[Path] = None
+
+    def manifest(self) -> Dict[str, Any]:
+        """JSON-serializable summary of the run (written as manifest.json)."""
+        events = self.resolver.events
+        return {
+            "scenario": {"name": self.scenario.name, **self.scenario.cache_token()},
+            "jobs": self.jobs,
+            "artifact_seconds": round(self.artifact_seconds, 6),
+            "total_seconds": round(self.total_seconds, 6),
+            "artifacts": [
+                {
+                    "name": event.name,
+                    "key": event.key,
+                    "status": event.status,
+                    "persistent": event.persistent,
+                    "seconds": round(event.seconds, 6),
+                }
+                for event in events
+            ],
+            "cache": {
+                "hits": sum(1 for event in events if event.status == "cached"),
+                "builds": sum(
+                    1 for event in events if event.status == "built" and event.persistent
+                ),
+                "views": sum(
+                    1 for event in events if event.status == "built" and not event.persistent
+                ),
+            },
+            "stages": [
+                {
+                    "name": stage.name,
+                    "title": stage.title,
+                    "needs": list(stage.needs),
+                    "seconds": round(stage.seconds, 6),
+                }
+                for stage in self.stages.values()
+            ],
+        }
+
+    def rendered_report(self) -> str:
+        """Every stage's rendered tables, concatenated in run order."""
+        parts = [stage.rendered for stage in self.stages.values()]
+        return "\n\n".join(parts) + "\n"
+
+    def recomputed_persistent_artifacts(self) -> List[str]:
+        """Persistent artifacts this run had to build (empty on a warm cache)."""
+        return [
+            event.name
+            for event in self.resolver.events
+            if event.status == "built" and event.persistent
+        ]
+
+
+def select_stages(figures: Optional[Sequence[str]] = None) -> List[ExperimentStage]:
+    """The stages a pipeline run will execute, in registry (figure) order.
+
+    ``figures=None`` selects the full suite; otherwise names are validated
+    against the registry (:class:`~.registry.UnknownExperimentError`) and
+    returned in registry order regardless of the requested order.
+    """
+    stages = experiment_stages()
+    if figures is None:
+        return list(stages.values())
+    wanted = {get_experiment(name).name for name in figures}
+    return [stage for stage in stages.values() if stage.name in wanted]
+
+
+def pipeline_artifact_plan(stages: Sequence[ExperimentStage]) -> List[str]:
+    """Topological build order of every artifact the given stages declare.
+
+    Validates the stage->artifact edges (unknown artifacts raise
+    :class:`~.artifacts.UnknownArtifactError`) and the artifact->artifact
+    edges (cycles raise :class:`~.artifacts.ArtifactCycleError`).
+    """
+    needed: List[str] = []
+    for stage in stages:
+        for name in stage.needs:
+            if name not in needed:
+                needed.append(name)
+    return artifact_topological_order(needed)
+
+
+def run_pipeline(
+    scenario: Union[str, Scenario],
+    figures: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+    out_dir: Optional[Union[str, Path]] = None,
+    resolver: Optional[ArtifactResolver] = None,
+) -> PipelineResult:
+    """Run the declarative experiment pipeline for one scenario.
+
+    Parameters
+    ----------
+    scenario:
+        A preset name (``"paper-default"``, ``"tiny"``, ...) or a
+        :class:`~.scenarios.Scenario` instance.
+    figures:
+        Stage names to run (default: the full suite).
+    jobs:
+        Worker threads for stage execution.  Stages are mutually independent
+        once artifacts are materialised, so any subset may run concurrently;
+        artifact resolution itself is sequential (dependencies chain).
+    cache_dir:
+        Root of the content-addressed artifact store.  ``None`` shares
+        artifacts in memory only (nothing is written or read).
+    out_dir:
+        Where to write ``manifest.json``, ``report.txt`` and the per-stage
+        renderings.  ``None`` skips writing.
+    resolver:
+        Pre-populated resolver to reuse (tests; overrides ``cache_dir``).
+    """
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    stages = select_stages(figures)
+    plan = pipeline_artifact_plan(stages)
+    if resolver is None:
+        resolver = ArtifactResolver(scenario, cache_dir=cache_dir)
+    started = time.perf_counter()
+
+    for name in plan:
+        resolver.artifact(name)
+    artifact_seconds = time.perf_counter() - started
+
+    def execute(stage: ExperimentStage) -> StageResult:
+        inputs = [resolver.artifact(name) for name in stage.needs]
+        options = scenario.stage_options(stage.name)
+        stage_started = time.perf_counter()
+        payload = stage.fn(*inputs, **options)
+        seconds = time.perf_counter() - stage_started
+        rendered = render_payload(payload, title=f"{stage.name} — {stage.title}")
+        return StageResult(
+            name=stage.name,
+            title=stage.title,
+            needs=stage.needs,
+            payload=payload,
+            rendered=rendered,
+            seconds=seconds,
+        )
+
+    if jobs > 1 and len(stages) > 1:
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            results = list(pool.map(execute, stages))
+    else:
+        results = [execute(stage) for stage in stages]
+
+    result = PipelineResult(
+        scenario=scenario,
+        stages={stage_result.name: stage_result for stage_result in results},
+        resolver=resolver,
+        jobs=jobs,
+        artifact_seconds=artifact_seconds,
+        total_seconds=time.perf_counter() - started,
+    )
+    if out_dir is not None:
+        result.out_dir = write_outputs(result, out_dir)
+    return result
+
+
+def write_outputs(result: PipelineResult, out_dir: Union[str, Path]) -> Path:
+    """Write manifest.json, report.txt and per-stage renderings to ``out_dir``."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    (out / "manifest.json").write_text(
+        json.dumps(result.manifest(), indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    (out / "report.txt").write_text(result.rendered_report(), encoding="utf-8")
+    for stage in result.stages.values():
+        (out / f"{stage.name}.txt").write_text(stage.rendered + "\n", encoding="utf-8")
+    return out

@@ -27,6 +27,25 @@ def _support(xmin: int, support_max: int) -> np.ndarray:
     return np.arange(xmin, max(xmin + 1, support_max) + 1, dtype=float)
 
 
+#: xmin -> read-only ``log(arange(xmin, xmin + n))`` array, grown on demand.
+#: The discrete-lognormal normaliser evaluates ``log k`` over tens of
+#: thousands of support points *per golden-section iterate*; the values only
+#: ever depend on (xmin, length), so one shared array serves every fit.
+#: Slicing a prefix is bit-exact with recomputing: ``np.log`` is elementwise.
+_SUPPORT_LOG_CACHE: Dict[int, np.ndarray] = {}
+
+
+def _support_logs(xmin: int, count: int) -> np.ndarray:
+    cached = _SUPPORT_LOG_CACHE.get(xmin)
+    if cached is None or cached.size < count:
+        size = count if cached is None else max(count, 2 * cached.size)
+        grown = np.log(np.arange(xmin, xmin + size, dtype=float))
+        grown.setflags(write=False)
+        _SUPPORT_LOG_CACHE[xmin] = grown
+        cached = grown
+    return cached[:count]
+
+
 @dataclass(frozen=True)
 class PowerLaw:
     """Discrete power law ``p(k) ∝ k^(-alpha)`` for ``k >= xmin``."""
@@ -97,15 +116,19 @@ class DiscreteLognormal:
     sigma: float
     xmin: int = 1
 
-    def _log_weights(self, values: np.ndarray) -> np.ndarray:
-        logs = np.log(values)
+    def _log_weights_from_logs(self, logs: np.ndarray) -> np.ndarray:
         return -logs - (logs - self.mu) ** 2 / (2 * self.sigma ** 2)
 
+    def _log_weights(self, values: np.ndarray) -> np.ndarray:
+        return self._log_weights_from_logs(np.log(values))
+
     def _log_normaliser(self, support_max: int = DEFAULT_SUPPORT_MAX) -> float:
-        # Sum over a generous support; weights decay fast enough in k.
+        # Sum over a generous support; weights decay fast enough in k.  The
+        # support logs come from the shared prefix cache (bit-identical to
+        # recomputing them) since this runs once per optimiser iterate.
         cutoff = min(support_max, max(1000, int(math.exp(self.mu + 8 * self.sigma))))
-        ks = np.arange(self.xmin, cutoff + 1, dtype=float)
-        log_weights = self._log_weights(ks)
+        logs = _support_logs(self.xmin, cutoff - self.xmin + 1)
+        log_weights = self._log_weights_from_logs(logs)
         peak = float(np.max(log_weights))
         return peak + math.log(float(np.sum(np.exp(log_weights - peak))))
 

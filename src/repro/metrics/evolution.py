@@ -27,6 +27,30 @@ Snapshot = Tuple[int, SAN]
 Series = List[Tuple[int, float]]
 
 
+def ensure_frozen_snapshots(snapshots: Sequence[Snapshot]) -> List[Snapshot]:
+    """Freeze-once view of a snapshot sequence.
+
+    Every series driver in this module routes its per-snapshot metrics through
+    the engine registry, whose fastest kernels run on the CSR-backed frozen
+    backend.  This helper normalises a mixed sequence so each mutable snapshot
+    is frozen exactly once (via the engine's version-validated frozen-view
+    cache, shared across all series drivers called on the same snapshots);
+    already-frozen snapshots pass through untouched.  Node and edge insertion
+    order is preserved by ``freeze()``, so sampled estimators draw the same
+    populations on either backend.
+    """
+    from ..engine.registry import FROZEN, backend_of, frozen_view
+
+    result: List[Snapshot] = []
+    for day, san in snapshots:
+        if backend_of(san) != FROZEN:
+            view = frozen_view(san)
+            if view is not None:
+                san = view
+        result.append((day, san))
+    return result
+
+
 @dataclass(frozen=True)
 class PhaseBoundaries:
     """Day indices splitting the timeline into the paper's three phases.
@@ -51,8 +75,13 @@ class PhaseBoundaries:
 def metric_series(
     snapshots: Sequence[Snapshot], metric: Callable[[SAN], float]
 ) -> Series:
-    """Apply ``metric`` to every snapshot, producing a ``(day, value)`` series."""
-    return [(day, metric(san)) for day, san in snapshots]
+    """Apply ``metric`` to every snapshot, producing a ``(day, value)`` series.
+
+    Snapshots are normalised to the frozen backend first (freeze-once, see
+    :func:`ensure_frozen_snapshots`) so registry-dispatched metrics run their
+    vectorized kernels instead of recomputing on dict-backed SANs.
+    """
+    return [(day, metric(san)) for day, san in ensure_frozen_snapshots(snapshots)]
 
 
 def growth_series(snapshots: Sequence[Snapshot]) -> Dict[str, Series]:
@@ -63,6 +92,7 @@ def growth_series(snapshots: Sequence[Snapshot]) -> Dict[str, Series]:
         "social_links": [],
         "attribute_links": [],
     }
+    # Counters are O(1) on both backends — no point freezing for them.
     for day, san in snapshots:
         series["social_nodes"].append((day, float(san.number_of_social_nodes())))
         series["attribute_nodes"].append((day, float(san.number_of_attribute_nodes())))
@@ -96,7 +126,7 @@ def diameter_series(
     generator = ensure_rng(rng)
     social_series: Series = []
     attribute_series: Series = []
-    for day, san in snapshots:
+    for day, san in ensure_frozen_snapshots(snapshots):
         social_series.append(
             (day, social_effective_diameter(san, method="hyperanf", precision=precision))
         )
@@ -124,7 +154,7 @@ def clustering_series(
     """
     generator = ensure_rng(rng)
     series: Series = []
-    for day, san in snapshots:
+    for day, san in ensure_frozen_snapshots(snapshots):
         if kind == "social":
             population = list(san.social_nodes())
         elif kind == "attribute":

@@ -21,9 +21,12 @@ from .workloads import (
     EvolutionWorkload,
     build_workload,
     default_config,
+    dense_config,
     generative_params,
+    high_reciprocity_config,
     large_config,
     small_config,
+    sparse_config,
     standard_snapshot_days,
     tiny_config,
 )
@@ -47,9 +50,12 @@ __all__ = [
     "EvolutionWorkload",
     "build_workload",
     "default_config",
+    "dense_config",
     "generative_params",
+    "high_reciprocity_config",
     "large_config",
     "small_config",
+    "sparse_config",
     "standard_snapshot_days",
     "tiny_config",
 ]

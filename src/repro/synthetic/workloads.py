@@ -45,6 +45,58 @@ def large_config() -> GooglePlusConfig:
     return GooglePlusConfig(total_users=10000, num_days=98)
 
 
+def sparse_config() -> GooglePlusConfig:
+    """A sparse regime: small link budgets, long link spread, few declarations.
+
+    Exercises the low-density corner of the pipeline (weak closure signals,
+    many leaf nodes) without changing the three-phase timeline.
+    """
+    return GooglePlusConfig(
+        total_users=1500,
+        num_days=98,
+        degree_mu=1.0,
+        degree_sigma=0.9,
+        link_spread_days=40.0,
+        declare_probability=0.12,
+    )
+
+
+def dense_config() -> GooglePlusConfig:
+    """A dense regime: large link budgets and strong closure.
+
+    Produces a much higher social density and clustering than the Google+
+    defaults — the stress case for the triangle/clustering kernels.
+    """
+    return GooglePlusConfig(
+        total_users=1500,
+        num_days=98,
+        degree_mu=2.2,
+        degree_sigma=1.1,
+        link_spread_days=12.0,
+        triadic_probability=0.6,
+        focal_probability=0.2,
+        declare_probability=0.35,
+    )
+
+
+def high_reciprocity_config() -> GooglePlusConfig:
+    """A high-reciprocity regime: most links are (eventually) mutual.
+
+    Pushes the per-link reciprocation rates towards the levels of mutual-link
+    networks (Facebook-like), which stresses the reciprocity/influence
+    figures far from the Google+ operating point.
+    """
+    return GooglePlusConfig(
+        total_users=1500,
+        num_days=98,
+        reciprocation_phase1=0.75,
+        reciprocation_phase2=0.65,
+        reciprocation_phase3=0.55,
+        delayed_reciprocation_probability=0.25,
+        shared_attribute_reciprocation_boost=1.8,
+    )
+
+
 @dataclass
 class EvolutionWorkload:
     """A simulated evolution plus the standard snapshot days used by benches."""

@@ -130,7 +130,14 @@ def test_report_runs_frozen_battery(tmp_path, capsys, figure1_san):
 def test_help_documents_frozen_and_report(capsys):
     with pytest.raises(SystemExit):
         main(["--help"])
-    assert "report" in capsys.readouterr().out
+    output = capsys.readouterr().out
+    assert "report" in output
+    assert "pipeline" in output
+    with pytest.raises(SystemExit):
+        main(["pipeline", "--help"])
+    output = capsys.readouterr().out
+    for flag in ("--scenario", "--figures", "--jobs", "--cache-dir", "--out"):
+        assert flag in output
     with pytest.raises(SystemExit):
         main(["measure", "--help"])
     assert "--frozen" in capsys.readouterr().out
@@ -249,6 +256,58 @@ def test_likelihood_requires_inputs(capsys):
     exit_code = main(["likelihood"])
     assert exit_code == 2
     assert "--steps or all four snapshot TSVs" in capsys.readouterr().err
+
+
+def test_pipeline_runs_selected_stages(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    out = tmp_path / "out"
+    exit_code = main(
+        [
+            "pipeline",
+            "--scenario", "tiny",
+            "--figures", "fig02_03,sec22",
+            "--cache-dir", str(cache),
+            "--out", str(out),
+        ]
+    )
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "scenario=tiny" in output
+    assert "fig02_03" in output and "sec22" in output
+    import json
+
+    manifest = json.loads((out / "manifest.json").read_text())
+    assert {stage["name"] for stage in manifest["stages"]} == {"fig02_03", "sec22"}
+    assert (out / "fig02_03.txt").exists() and (out / "report.txt").exists()
+
+    # Warm rerun against the same cache: no persistent artifact is rebuilt.
+    assert main(
+        [
+            "pipeline",
+            "--scenario", "tiny",
+            "--figures", "fig02_03,sec22",
+            "--cache-dir", str(cache),
+            "--out", str(out),
+        ]
+    ) == 0
+    manifest = json.loads((out / "manifest.json").read_text())
+    assert manifest["cache"]["builds"] == 0
+    assert manifest["cache"]["hits"] > 0
+
+
+def test_pipeline_rejects_unknown_scenario_and_stage(capsys):
+    assert main(["pipeline", "--scenario", "galactic"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+    assert main(["pipeline", "--scenario", "tiny", "--figures", "fig99"]) == 2
+    assert "unknown experiment stage" in capsys.readouterr().err
+
+
+def test_pipeline_list_scenarios_and_stages(capsys):
+    assert main(["pipeline", "--list"]) == 0
+    output = capsys.readouterr().out
+    for name in ("paper-default", "tiny", "sparse", "dense", "high-reciprocity"):
+        assert name in output
+    assert "fig15" in output and "arrival_history" in output
 
 
 def test_likelihood_rejects_steps_with_snapshots(tmp_path, capsys):
