@@ -1,6 +1,6 @@
 """Command-line interface for the SAN reproduction library.
 
-Seven subcommands cover the common workflows without writing any Python:
+Eight subcommands cover the common workflows without writing any Python:
 
 * ``simulate``  — run the synthetic Google+ evolution and save the final SAN
   (or a chosen day's snapshot) as a TSV pair.
@@ -20,6 +20,11 @@ Seven subcommands cover the common workflows without writing any Python:
   Sections 2.2/5.2) from one scenario config: every shared artifact is
   materialized exactly once, cached content-addressed on disk, and the
   stages run over the artifact DAG (optionally in parallel).
+* ``validate``  — the fidelity regression gate: evaluate a scenario's
+  checked-in answer key (``benchmarks/keys/<scenario>.json``) against the
+  pipeline's stage payloads and fail loudly, naming each violated
+  assertion.  Reuses the pipeline's artifact cache, so a warm rerun
+  rebuilds nothing.
 
 Examples
 --------
@@ -35,6 +40,8 @@ Examples
         --after-social day98.social.tsv --after-attributes day98.attrs.tsv
     repro pipeline --scenario paper-default --jobs 4 --cache-dir ~/.cache/repro --out results/
     repro pipeline --scenario tiny --figures fig04,fig15
+    repro validate --scenario churn --cache-dir ~/.cache/repro --out validation/
+    repro validate --all --cache-dir ~/.cache/repro
 """
 
 from __future__ import annotations
@@ -236,6 +243,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--list",
         action="store_true",
         help="list the registered scenarios and stages, then exit",
+    )
+
+    validate_help = (
+        "evaluate a scenario's checked-in answer key against the pipeline's "
+        "stage payloads (the fidelity regression gate); exits 1 when any "
+        "named assertion is violated"
+    )
+    validate = subparsers.add_parser(
+        "validate", help=validate_help, description=validate_help
+    )
+    validate.add_argument(
+        "--scenario",
+        default=None,
+        help="scenario preset to validate (see --list for keys on disk)",
+    )
+    validate.add_argument(
+        "--all",
+        action="store_true",
+        help="validate every scenario that has a checked-in answer key",
+    )
+    validate.add_argument(
+        "--keys-dir",
+        default=None,
+        help="answer-key directory (default: the repository's benchmarks/keys)",
+    )
+    validate.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker threads for stage execution",
+    )
+    validate.add_argument(
+        "--cache-dir",
+        default=None,
+        help="content-addressed artifact cache root shared with `repro "
+        "pipeline`; a warm cache validates without rebuilding any artifact",
+    )
+    validate.add_argument(
+        "--out",
+        default=None,
+        help="write validation.json and validation.txt here "
+        "(with --all: one subdirectory per scenario)",
+    )
+    validate.add_argument(
+        "--list",
+        action="store_true",
+        help="list the scenarios with checked-in answer keys, then exit",
     )
 
     return parser
@@ -465,6 +519,69 @@ def _command_pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_validate(args: argparse.Namespace) -> int:
+    from .experiments import (
+        AnswerKeyError,
+        UnknownArtifactError,
+        UnknownExperimentError,
+        UnknownScenarioError,
+        answer_key_names,
+        answer_key_path,
+        run_validation,
+    )
+
+    if args.list:
+        print("scenarios with answer keys:")
+        for name in answer_key_names(args.keys_dir):
+            print(f"  {name:<18} {answer_key_path(name, args.keys_dir)}")
+        return 0
+
+    if args.all:
+        names = answer_key_names(args.keys_dir)
+        if not names:
+            print("error: no answer keys found", file=sys.stderr)
+            return 2
+    elif args.scenario is not None:
+        names = [args.scenario]
+    else:
+        print("error: pass --scenario <name> or --all", file=sys.stderr)
+        return 2
+
+    failures = 0
+    for name in names:
+        out_dir = args.out
+        if out_dir is not None and len(names) > 1:
+            out_dir = f"{args.out}/{name}"
+        try:
+            result = run_validation(
+                name,
+                keys_dir=args.keys_dir,
+                jobs=max(1, args.jobs),
+                cache_dir=args.cache_dir,
+                out_dir=out_dir,
+            )
+        except (
+            UnknownScenarioError,
+            UnknownExperimentError,
+            UnknownArtifactError,
+            AnswerKeyError,
+        ) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(result.rendered())
+        if result.out_dir is not None:
+            print(f"wrote {result.out_dir}/validation.json")
+        if not result.passed:
+            failures += 1
+            violated = ", ".join(item.assertion.name for item in result.failures())
+            print(
+                f"error: scenario {name!r} violates answer-key "
+                f"assertion(s): {violated}",
+                file=sys.stderr,
+            )
+    return 1 if failures else 0
+
+
 _COMMANDS = {
     "simulate": _command_simulate,
     "measure": _command_measure,
@@ -473,6 +590,7 @@ _COMMANDS = {
     "generate": _command_generate,
     "likelihood": _command_likelihood,
     "pipeline": _command_pipeline,
+    "validate": _command_validate,
 }
 
 

@@ -8,6 +8,20 @@ list to fall out of sync with the figures module.
 """
 
 from . import figures as _figures  # registers every stage on import
+from . import validation as _validation  # registers the fidelity stage
+from .answer_keys import (
+    AnswerKey,
+    AnswerKeyError,
+    AssertionResult,
+    KeyAssertion,
+    MalformedAnswerKeyError,
+    UnknownAnswerKeyError,
+    answer_key_names,
+    answer_key_path,
+    default_keys_dir,
+    evaluate_answer_key,
+    load_answer_key,
+)
 from .artifacts import (
     ArtifactCycleError,
     ArtifactError,
@@ -58,6 +72,7 @@ from .scenarios import (
     register_scenario,
     scenario_names,
 )
+from .validation import ValidationResult, run_validation, write_validation_outputs
 
 # Re-export every registered figure/section driver from the stage registry.
 _DRIVER_NAMES = []
@@ -66,26 +81,37 @@ for _stage in experiment_stages().values():
     _DRIVER_NAMES.append(_stage.fn.__name__)
 
 __all__ = sorted(_DRIVER_NAMES) + [
+    "AnswerKey",
+    "AnswerKeyError",
     "ArtifactCycleError",
     "ArtifactError",
     "ArtifactResolver",
     "ArtifactSpec",
     "ArtifactStore",
+    "AssertionResult",
     "DEFAULT_FIGURE_SEED",
     "DuplicateExperimentError",
     "ExperimentStage",
+    "KeyAssertion",
+    "MalformedAnswerKeyError",
     "PipelineResult",
     "Scenario",
     "StageResult",
+    "UnknownAnswerKeyError",
     "UnknownArtifactError",
     "UnknownExperimentError",
     "UnknownScenarioError",
+    "ValidationResult",
+    "answer_key_names",
+    "answer_key_path",
     "artifact",
     "artifact_names",
     "artifact_spec",
     "artifact_topological_order",
     "canonical_json",
     "canonical_payload",
+    "default_keys_dir",
+    "evaluate_answer_key",
     "experiment",
     "experiment_names",
     "experiment_stages",
@@ -94,16 +120,19 @@ __all__ = sorted(_DRIVER_NAMES) + [
     "format_table",
     "get_experiment",
     "get_scenario",
+    "load_answer_key",
     "pipeline_artifact_plan",
     "register_artifact",
     "register_experiment",
     "register_scenario",
     "render_payload",
     "run_pipeline",
+    "run_validation",
     "scenario_names",
     "select_stages",
     "series_trend",
     "unregister_artifact",
     "unregister_experiment",
     "write_outputs",
+    "write_validation_outputs",
 ]

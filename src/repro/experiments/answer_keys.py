@@ -1,0 +1,422 @@
+"""Per-scenario fidelity answer keys: expected signals with tolerances.
+
+An answer key declares, for one scenario preset, the qualitative signals its
+run is expected to reproduce — degree-exponent ranges, trend directions of
+the reciprocity/densification series, closure-rate bounds, Sybil ranking
+separation — each as a *named assertion* with explicit tolerances.  Keys are
+checked-in JSON documents under ``benchmarks/keys/``; ``repro validate``
+(:mod:`repro.experiments.validation`) evaluates every assertion against
+freshly (or cache-) materialised pipeline stages and fails loudly, naming
+each violated assertion.
+
+Metric addressing
+-----------------
+Each assertion names its metric as ``"<stage>/<path>"``: ``stage`` is an
+experiment-stage name from the registry (including the ``fidelity`` stage
+registered by :mod:`repro.experiments.validation`), and ``path`` walks the
+stage's *canonical* payload (:func:`~repro.experiments.runner.canonical_payload`)
+— dots descend into mappings, integer segments index lists.  A metric may
+resolve to a scalar (range/threshold ops) or to a series (the ``trend`` op):
+a series is a ``[[x, y], ...]`` pair list, a plain value list, or a
+numeric-keyed mapping (sorted by key).
+
+Operations
+----------
+=============== ======================================================
+``in_range``    ``low <= value <= high`` (either bound may be omitted)
+``at_least``    ``value >= low``
+``at_most``     ``value <= high``
+``trend``       least-squares slope of a series matches ``direction``
+                (``increasing`` / ``decreasing`` / ``flat``, with
+                ``tolerance`` as the flatness band)
+``greater_than`` ``value > other-metric + margin``
+=============== ======================================================
+
+Key documents are versioned (``"format": 1``) so the schema can evolve
+without silently misreading old keys.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+PathLike = Union[str, Path]
+
+#: On-disk schema version of answer-key documents.
+KEY_FORMAT = 1
+
+_OPS = ("in_range", "at_least", "at_most", "trend", "greater_than")
+_DIRECTIONS = ("increasing", "decreasing", "flat")
+
+
+class AnswerKeyError(Exception):
+    """Base class for answer-key errors."""
+
+
+class UnknownAnswerKeyError(AnswerKeyError, KeyError):
+    """No answer key is checked in for the requested scenario."""
+
+    def __init__(self, name: str, keys_dir: Path) -> None:
+        super().__init__(name)
+        self.name = name
+        self.keys_dir = keys_dir
+
+    def __str__(self) -> str:
+        known = ", ".join(answer_key_names(self.keys_dir)) or "(none)"
+        return (
+            f"no answer key for scenario {self.name!r} under {self.keys_dir}; "
+            f"scenarios with keys: {known}"
+        )
+
+
+class MalformedAnswerKeyError(AnswerKeyError, ValueError):
+    """An answer-key document violates the schema."""
+
+
+@dataclass(frozen=True)
+class KeyAssertion:
+    """One named expectation on one metric of one stage payload."""
+
+    name: str
+    metric: str
+    op: str
+    low: Optional[float] = None
+    high: Optional[float] = None
+    direction: Optional[str] = None
+    other: Optional[str] = None
+    margin: float = 0.0
+    #: ``trend`` only: slopes with ``|slope| <= tolerance`` count as flat.
+    tolerance: float = 0.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise MalformedAnswerKeyError("assertion name must be non-empty")
+        if "/" not in self.metric:
+            raise MalformedAnswerKeyError(
+                f"assertion {self.name!r}: metric {self.metric!r} must be '<stage>/<path>'"
+            )
+        if self.op not in _OPS:
+            raise MalformedAnswerKeyError(
+                f"assertion {self.name!r}: unknown op {self.op!r}; known ops: {', '.join(_OPS)}"
+            )
+        if self.op == "in_range" and self.low is None and self.high is None:
+            raise MalformedAnswerKeyError(
+                f"assertion {self.name!r}: in_range needs 'low' and/or 'high'"
+            )
+        if self.op == "at_least" and self.low is None:
+            raise MalformedAnswerKeyError(f"assertion {self.name!r}: at_least needs 'low'")
+        if self.op == "at_most" and self.high is None:
+            raise MalformedAnswerKeyError(f"assertion {self.name!r}: at_most needs 'high'")
+        if self.op == "trend" and self.direction not in _DIRECTIONS:
+            raise MalformedAnswerKeyError(
+                f"assertion {self.name!r}: trend needs direction in {_DIRECTIONS}"
+            )
+        if self.op == "greater_than" and (self.other is None or "/" not in self.other):
+            raise MalformedAnswerKeyError(
+                f"assertion {self.name!r}: greater_than needs other='<stage>/<path>'"
+            )
+
+    @property
+    def stage(self) -> str:
+        """The experiment stage this assertion's metric lives in."""
+        return self.metric.partition("/")[0]
+
+    def stages(self) -> Tuple[str, ...]:
+        """Every stage this assertion reads (metric plus ``other``)."""
+        stages = [self.stage]
+        if self.other is not None:
+            other_stage = self.other.partition("/")[0]
+            if other_stage not in stages:
+                stages.append(other_stage)
+        return tuple(stages)
+
+    def to_document(self) -> Dict[str, Any]:
+        document: Dict[str, Any] = {"name": self.name, "metric": self.metric, "op": self.op}
+        for key in ("low", "high", "direction", "other"):
+            value = getattr(self, key)
+            if value is not None:
+                document[key] = value
+        if self.margin:
+            document["margin"] = self.margin
+        if self.tolerance:
+            document["tolerance"] = self.tolerance
+        if self.description:
+            document["description"] = self.description
+        return document
+
+    @classmethod
+    def from_document(cls, document: Mapping[str, Any]) -> "KeyAssertion":
+        unknown = set(document) - {
+            "name", "metric", "op", "low", "high", "direction",
+            "other", "margin", "tolerance", "description",
+        }
+        if unknown:
+            raise MalformedAnswerKeyError(
+                f"assertion document has unknown fields: {', '.join(sorted(unknown))}"
+            )
+        return cls(
+            name=str(document.get("name", "")),
+            metric=str(document.get("metric", "")),
+            op=str(document.get("op", "")),
+            low=document.get("low"),
+            high=document.get("high"),
+            direction=document.get("direction"),
+            other=document.get("other"),
+            margin=float(document.get("margin", 0.0)),
+            tolerance=float(document.get("tolerance", 0.0)),
+            description=str(document.get("description", "")),
+        )
+
+
+@dataclass(frozen=True)
+class AnswerKey:
+    """Every assertion one scenario is validated against."""
+
+    scenario: str
+    assertions: Tuple[KeyAssertion, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "assertions", tuple(self.assertions))
+        if not self.assertions:
+            raise MalformedAnswerKeyError(
+                f"answer key for {self.scenario!r} declares no assertions"
+            )
+        seen: Dict[str, None] = {}
+        for assertion in self.assertions:
+            if assertion.name in seen:
+                raise MalformedAnswerKeyError(
+                    f"answer key for {self.scenario!r}: duplicate assertion "
+                    f"name {assertion.name!r}"
+                )
+            seen[assertion.name] = None
+
+    def stages(self) -> List[str]:
+        """Every experiment stage the key reads, in first-reference order."""
+        stages: List[str] = []
+        for assertion in self.assertions:
+            for stage in assertion.stages():
+                if stage not in stages:
+                    stages.append(stage)
+        return stages
+
+    def to_document(self) -> Dict[str, Any]:
+        return {
+            "format": KEY_FORMAT,
+            "scenario": self.scenario,
+            "description": self.description,
+            "assertions": [assertion.to_document() for assertion in self.assertions],
+        }
+
+    @classmethod
+    def from_document(cls, document: Mapping[str, Any]) -> "AnswerKey":
+        if document.get("format") != KEY_FORMAT:
+            raise MalformedAnswerKeyError(
+                f"unsupported answer-key format {document.get('format')!r} "
+                f"(this build reads format {KEY_FORMAT})"
+            )
+        raw = document.get("assertions")
+        if not isinstance(raw, Sequence) or isinstance(raw, (str, bytes)):
+            raise MalformedAnswerKeyError("answer key 'assertions' must be a list")
+        return cls(
+            scenario=str(document.get("scenario", "")),
+            assertions=tuple(KeyAssertion.from_document(item) for item in raw),
+            description=str(document.get("description", "")),
+        )
+
+    def save(self, path: PathLike) -> Path:
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            json.dumps(self.to_document(), indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+        return target
+
+    @classmethod
+    def load(cls, path: PathLike) -> "AnswerKey":
+        try:
+            document = json.loads(Path(path).read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise MalformedAnswerKeyError(f"answer key {path} is not valid JSON: {exc}") from None
+        return cls.from_document(document)
+
+
+def default_keys_dir() -> Path:
+    """The repository's checked-in key directory (``benchmarks/keys``)."""
+    return Path(__file__).resolve().parents[3] / "benchmarks" / "keys"
+
+
+def answer_key_path(name: str, keys_dir: Optional[PathLike] = None) -> Path:
+    """Where the answer key of scenario ``name`` lives (existing or not)."""
+    root = Path(keys_dir) if keys_dir is not None else default_keys_dir()
+    return root / f"{name}.json"
+
+
+def answer_key_names(keys_dir: Optional[PathLike] = None) -> List[str]:
+    """Scenario names with a checked-in key, sorted."""
+    root = Path(keys_dir) if keys_dir is not None else default_keys_dir()
+    if not root.is_dir():
+        return []
+    return sorted(path.stem for path in root.glob("*.json"))
+
+
+def load_answer_key(name: str, keys_dir: Optional[PathLike] = None) -> AnswerKey:
+    """The checked-in answer key of scenario ``name``."""
+    root = Path(keys_dir) if keys_dir is not None else default_keys_dir()
+    path = answer_key_path(name, root)
+    if not path.is_file():
+        raise UnknownAnswerKeyError(name, root)
+    key = AnswerKey.load(path)
+    if key.scenario != name:
+        raise MalformedAnswerKeyError(
+            f"answer key {path} declares scenario {key.scenario!r}, expected {name!r}"
+        )
+    return key
+
+
+# -- evaluation -----------------------------------------------------------
+
+
+@dataclass
+class AssertionResult:
+    """One evaluated assertion: verdict, observed value, human-readable detail."""
+
+    assertion: KeyAssertion
+    passed: bool
+    observed: Optional[float]
+    detail: str
+
+    def to_document(self) -> Dict[str, Any]:
+        return {
+            "name": self.assertion.name,
+            "metric": self.assertion.metric,
+            "op": self.assertion.op,
+            "passed": self.passed,
+            "observed": self.observed,
+            "detail": self.detail,
+        }
+
+
+def resolve_metric(payloads: Mapping[str, Any], metric: str) -> Any:
+    """Walk ``"<stage>/<dotted.path>"`` through canonical stage payloads."""
+    stage, _, path = metric.partition("/")
+    if stage not in payloads:
+        raise KeyError(f"stage {stage!r} was not materialised (metric {metric!r})")
+    value: Any = payloads[stage]
+    if not path:
+        return value
+    for segment in path.split("."):
+        if isinstance(value, Mapping):
+            if segment not in value:
+                raise KeyError(
+                    f"metric {metric!r}: no key {segment!r} "
+                    f"(available: {', '.join(map(str, list(value)[:12]))})"
+                )
+            value = value[segment]
+        elif isinstance(value, Sequence) and not isinstance(value, (str, bytes)):
+            try:
+                value = value[int(segment)]
+            except (ValueError, IndexError):
+                raise KeyError(f"metric {metric!r}: bad list index {segment!r}") from None
+        else:
+            raise KeyError(f"metric {metric!r}: cannot descend into {type(value).__name__}")
+    return value
+
+
+def series_points(value: Any) -> List[Tuple[float, float]]:
+    """Coerce a resolved metric into ``(x, y)`` series points for ``trend``."""
+    if isinstance(value, Mapping):
+        try:
+            items = sorted(((float(key), float(val)) for key, val in value.items()))
+        except (TypeError, ValueError):
+            raise ValueError("mapping metric is not a numeric series") from None
+        return items
+    if isinstance(value, Sequence) and not isinstance(value, (str, bytes)):
+        points: List[Tuple[float, float]] = []
+        for index, item in enumerate(value):
+            if (
+                isinstance(item, Sequence)
+                and not isinstance(item, (str, bytes))
+                and len(item) >= 2
+            ):
+                points.append((float(item[0]), float(item[-1])))
+            else:
+                points.append((float(index), float(item)))
+        return points
+    raise ValueError(f"metric of type {type(value).__name__} is not a series")
+
+
+def series_slope(points: Sequence[Tuple[float, float]]) -> float:
+    """Least-squares slope of the series (0.0 for degenerate series)."""
+    count = len(points)
+    if count < 2:
+        return 0.0
+    mean_x = sum(x for x, _ in points) / count
+    mean_y = sum(y for _, y in points) / count
+    var_x = sum((x - mean_x) ** 2 for x, _ in points)
+    if var_x == 0.0:
+        return 0.0
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in points)
+    return cov / var_x
+
+
+def _scalar(value: Any, metric: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(f"metric {metric!r} is not a scalar (got {type(value).__name__})")
+    return float(value)
+
+
+def evaluate_assertion(
+    assertion: KeyAssertion, payloads: Mapping[str, Any]
+) -> AssertionResult:
+    """Evaluate one assertion; resolution errors fail loudly, never raise."""
+    try:
+        raw = resolve_metric(payloads, assertion.metric)
+        if assertion.op == "trend":
+            slope = series_slope(series_points(raw))
+            direction = assertion.direction
+            if direction == "increasing":
+                passed = slope > assertion.tolerance
+            elif direction == "decreasing":
+                passed = slope < -assertion.tolerance
+            else:  # flat
+                passed = abs(slope) <= assertion.tolerance
+            detail = (
+                f"slope {slope:.6g} (expected {direction}, tolerance {assertion.tolerance:g})"
+            )
+            return AssertionResult(assertion, passed, slope, detail)
+
+        observed = _scalar(raw, assertion.metric)
+        if assertion.op == "greater_than":
+            other = _scalar(resolve_metric(payloads, assertion.other), assertion.other)
+            passed = observed > other + assertion.margin
+            detail = (
+                f"observed {observed:.6g} vs {assertion.other} = {other:.6g}"
+                f"{f' + margin {assertion.margin:g}' if assertion.margin else ''}"
+            )
+            return AssertionResult(assertion, passed, observed, detail)
+
+        low, high = assertion.low, assertion.high
+        if assertion.op == "at_least":
+            high = None
+        elif assertion.op == "at_most":
+            low = None
+        passed = (low is None or observed >= low) and (high is None or observed <= high)
+        bounds = f"[{'-inf' if low is None else f'{low:g}'}, {'inf' if high is None else f'{high:g}'}]"
+        detail = f"observed {observed:.6g}, expected within {bounds}"
+        return AssertionResult(assertion, passed, observed, detail)
+    except (KeyError, ValueError, TypeError) as exc:
+        reason = exc.args[0] if exc.args else str(exc)
+        return AssertionResult(assertion, False, None, f"unresolvable: {reason}")
+
+
+def evaluate_answer_key(
+    key: AnswerKey, payloads: Mapping[str, Any]
+) -> List[AssertionResult]:
+    """Evaluate every assertion of ``key`` against canonical stage payloads."""
+    return [evaluate_assertion(assertion, payloads) for assertion in key.assertions]

@@ -435,6 +435,7 @@ def _save_evolution(evolution: GroundTruthEvolution, path: Path) -> None:
         # round trip without a string conversion.
         "join_day": [[node, day] for node, day in evolution.join_day.items()],
         "profiles": [[node, profile] for node, profile in evolution.profiles.items()],
+        "sybil_nodes": list(evolution.sybil_nodes),
         "events": [
             {"day": timed.day, **_event_to_json(timed.event)}
             for timed in evolution.events
@@ -456,6 +457,7 @@ def _load_evolution(path: Path) -> GroundTruthEvolution:
         join_day={node: day for node, day in document["join_day"]},
         profiles={node: profile for node, profile in document["profiles"]},
         phases=PhaseBoundaries(**document["phases"]),
+        sybil_nodes=list(document.get("sybil_nodes", [])),
     )
 
 
@@ -551,6 +553,19 @@ def _build_evolution(resolver: ArtifactResolver) -> GroundTruthEvolution:
     return simulate_google_plus(scenario.config, rng=scenario.seed)
 
 
+#: First-crawl seed count under a privacy regime.  A single seed can hide its
+#: links and strand the whole series (later crawls re-seed from the previous
+#: visited set); ten early joiners make that failure mode vanishingly rare
+#: while matching the paper's multi-seed crawl methodology.
+_PRIVACY_CRAWL_SEEDS = 10
+
+
+def _earliest_joiners(evolution: GroundTruthEvolution, count: int):
+    """The first ``count`` users by join day (label as the tiebreak)."""
+    ranked = sorted(evolution.join_day.items(), key=lambda item: (item[1], str(item[0])))
+    return [node for node, _ in ranked[:count]]
+
+
 @artifact(
     "snapshot_series",
     needs=("evolution",),
@@ -558,9 +573,24 @@ def _build_evolution(resolver: ArtifactResolver) -> GroundTruthEvolution:
     load=_load_snapshot_series,
 )
 def _build_snapshot_series(resolver: ArtifactResolver) -> SnapshotSeries:
-    """Crawled daily snapshots (the analogue of the paper's 79 crawls)."""
+    """Crawled daily snapshots (the analogue of the paper's 79 crawls).
+
+    The scenario's privacy regime (if any) is applied during the crawl, so
+    visibility sweeps flow through the whole figure suite.  Privacy crawls
+    start from several early joiners instead of the single default seed —
+    otherwise one link-hiding seed strands every snapshot of the series.
+    """
     evolution = resolver.artifact("evolution")
-    return crawl_evolution(evolution, resolver.scenario.snapshot_days())
+    privacy = resolver.scenario.privacy_model()
+    seeds = None
+    if privacy is not None:
+        seeds = _earliest_joiners(evolution, _PRIVACY_CRAWL_SEEDS)
+    return crawl_evolution(
+        evolution,
+        resolver.scenario.snapshot_days(),
+        privacy=privacy,
+        seeds=seeds,
+    )
 
 
 @artifact("snapshots", needs=("snapshot_series",))

@@ -18,23 +18,32 @@ Presets
 ``sparse`` / ``dense`` / ``high-reciprocity``
     Stress regimes far from the Google+ operating point (low density, high
     density, mutual-link-heavy).
+``sybil-waves`` / ``churn`` / ``flash-crowd`` / ``privacy-heavy``
+    Adversarial and churn regimes (tiny scale): Sybil infiltration waves,
+    attribute churn/deletion, arrival bursts breaking the three-phase
+    schedule, and a crawler visibility sweep with heavy privacy settings.
+    These are the workloads ``repro validate`` gates against answer keys.
 """
 
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
+from ..crawler.privacy import PrivacyModel
 from ..synthetic.gplus import GooglePlusConfig
 from ..synthetic.workloads import (
     BENCH_SEED,
+    churn_config,
     default_config,
     dense_config,
+    flash_crowd_config,
     high_reciprocity_config,
     large_config,
     small_config,
     sparse_config,
     standard_snapshot_days,
+    sybil_wave_config,
     tiny_config,
 )
 
@@ -85,11 +94,27 @@ class Scenario:
     max_links: int = 1500
     #: Scored-edge budget of the Section 5.2 closure comparison.
     max_edges: int = 1500
+    #: Crawler privacy regime: probability that a user hides their links /
+    #: attributes from the crawler (0.0 = the fully public baseline).  The
+    #: privacy model is seeded from ``seed``, so visibility sweeps are
+    #: deterministic per scenario.
+    privacy_hide_links: float = 0.0
+    privacy_hide_attributes: float = 0.0
     description: str = ""
 
     def snapshot_days(self) -> List[int]:
         """The crawl days of this scenario's snapshot series."""
         return standard_snapshot_days(self.config.num_days, count=self.snapshot_count)
+
+    def privacy_model(self) -> Optional[PrivacyModel]:
+        """The crawler's privacy model, or ``None`` for the public baseline."""
+        if self.privacy_hide_links == 0.0 and self.privacy_hide_attributes == 0.0:
+            return None
+        return PrivacyModel(
+            hide_links_probability=self.privacy_hide_links,
+            hide_attributes_probability=self.privacy_hide_attributes,
+            seed=self.seed,
+        )
 
     def cache_token(self) -> Dict[str, object]:
         """JSON-serializable identity of this scenario for artifact keys.
@@ -109,6 +134,10 @@ class Scenario:
             "history_start_divisor": self.history_start_divisor,
             "mean_sleep": self.mean_sleep,
             "beta": self.beta,
+            "privacy": {
+                "hide_links": self.privacy_hide_links,
+                "hide_attributes": self.privacy_hide_attributes,
+            },
         }
 
     def stage_options(self, stage: str) -> Dict[str, object]:
@@ -217,5 +246,55 @@ register_scenario(
         name="high-reciprocity",
         config=high_reciprocity_config(),
         description="mutual-link-heavy regime far from the Google+ operating point",
+    ),
+)
+register_scenario(
+    "sybil-waves",
+    lambda: Scenario(
+        name="sybil-waves",
+        config=sybil_wave_config(),
+        snapshot_count=6,
+        clustering_samples=1500,
+        max_links=600,
+        max_edges=600,
+        description="tiny workload plus Sybil infiltration waves (Section 6.3 attack)",
+    ),
+)
+register_scenario(
+    "churn",
+    lambda: Scenario(
+        name="churn",
+        config=churn_config(),
+        snapshot_count=6,
+        clustering_samples=1500,
+        max_links=600,
+        max_edges=600,
+        description="tiny workload with heavy attribute churn (users changing employers)",
+    ),
+)
+register_scenario(
+    "flash-crowd",
+    lambda: Scenario(
+        name="flash-crowd",
+        config=flash_crowd_config(),
+        snapshot_count=6,
+        clustering_samples=1500,
+        max_links=600,
+        max_edges=600,
+        description="tiny workload with arrival bursts breaking the three-phase schedule",
+    ),
+)
+register_scenario(
+    "privacy-heavy",
+    lambda: Scenario(
+        name="privacy-heavy",
+        config=tiny_config(),
+        snapshot_count=6,
+        clustering_samples=1500,
+        max_links=600,
+        max_edges=600,
+        privacy_hide_links=0.35,
+        privacy_hide_attributes=0.25,
+        description="tiny workload crawled under heavy privacy settings (hidden links)",
     ),
 )

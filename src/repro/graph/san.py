@@ -128,6 +128,18 @@ class SAN:
         self.add_attribute_node(attribute, attr_type=attr_type, value=value)
         return self.attributes.add_link(social, attribute)
 
+    def remove_social_edge(self, source: SocialNode, target: SocialNode) -> None:
+        """Remove the directed social link ``source -> target`` (churn)."""
+        self.social.remove_edge(source, target)
+
+    def remove_attribute_edge(self, social: SocialNode, attribute: AttributeNode) -> None:
+        """Remove the attribute link ``(social, attribute)`` (churn).
+
+        The attribute node itself stays, even when its last member leaves —
+        matching the append-only node pools of the frozen snapshot views.
+        """
+        self.attributes.remove_link(social, attribute)
+
     def has_social_edge(self, source: SocialNode, target: SocialNode) -> bool:
         return self.social.has_edge(source, target)
 

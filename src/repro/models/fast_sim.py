@@ -71,6 +71,7 @@ VECTORIZED_ENGINE = "vectorized"
 _EVENT_NODE = 0
 _EVENT_ATTRIBUTE = 1
 _EVENT_SOCIAL = 2
+_EVENT_ATTRIBUTE_REMOVE = 3
 
 
 class GrowableIntArray:
@@ -170,6 +171,11 @@ class SnapshotMark:
     Materializing the snapshot only needs the prefix lengths — the arrays
     themselves are shared with the final state, which is what makes a
     snapshot O(0) to *record* and one vectorized pass to *materialize*.
+
+    ``num_attribute_edges`` counts *alive* links; under attribute churn the
+    attribute-link arrays stay append-only and removals are tombstones, so the
+    array watermark is ``num_attribute_edges + num_removed_links`` (every
+    appended link is either alive or in the removal log).
     """
 
     step: int
@@ -177,6 +183,7 @@ class SnapshotMark:
     num_social_edges: int
     num_attribute_nodes: int
     num_attribute_edges: int
+    num_removed_links: int = 0
 
 
 @dataclass
@@ -199,6 +206,12 @@ class FastSANModelRun:
     attribute_labels: List[str]
     attribute_info: List[AttributeInfo]
     marks: List[SnapshotMark] = field(default_factory=list)
+    #: Attribute-link array positions tombstoned by churn, in removal order.
+    link_removed_positions: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    #: Node ids injected by Sybil waves (empty without the regime).
+    sybil_nodes: List[int] = field(default_factory=list)
     _event_log: Optional[List[Tuple[int, int, int]]] = None
     _final: Optional[FrozenSAN] = None
     _snapshots: Optional[List[Tuple[int, FrozenSAN]]] = None
@@ -233,11 +246,18 @@ class FastSANModelRun:
             m = int(self.social_src.size)
             na = len(self.attribute_labels)
             ma = int(self.link_social.size)
+            removed = int(self.link_removed_positions.size)
         else:
             n = mark.num_social_nodes
             m = mark.num_social_edges
             na = mark.num_attribute_nodes
-            ma = mark.num_attribute_edges
+            removed = mark.num_removed_links
+            # Array watermark = alive links + tombstoned links at the mark.
+            ma = mark.num_attribute_edges + removed
+        alive: Optional[np.ndarray] = None
+        if removed:
+            alive = np.ones(self.link_attr.size, dtype=bool)
+            alive[self.link_removed_positions[:removed]] = False
         if self._orders is None:
             self._orders = (
                 np.lexsort((self.social_dst, self.social_src)),
@@ -247,9 +267,13 @@ class FastSANModelRun:
             )
         out_order, in_order, sa_order, as_order = self._orders
 
-        def prefix_csr(order, row_prefix, col_full, count, num_rows):
+        def prefix_csr(order, row_full, col_full, count, num_rows, live=None):
             keep = order if count == order.size else order[order < count]
-            counts = np.bincount(row_prefix, minlength=num_rows).astype(np.int64)
+            if live is not None:
+                keep = keep[live[keep]]
+                counts = np.bincount(row_full[keep], minlength=num_rows).astype(np.int64)
+            else:
+                counts = np.bincount(row_full[:count], minlength=num_rows).astype(np.int64)
             indptr = np.zeros(num_rows + 1, dtype=np.int64)
             np.cumsum(counts, out=indptr[1:])
             return indptr, col_full[keep]
@@ -257,19 +281,19 @@ class FastSANModelRun:
         from ..graph.frozen import FrozenBipartiteAttributeGraph, FrozenDiGraph
 
         out_indptr, out_indices = prefix_csr(
-            out_order, self.social_src[:m], self.social_dst, m, n
+            out_order, self.social_src, self.social_dst, m, n
         )
         in_indptr, in_indices = prefix_csr(
-            in_order, self.social_dst[:m], self.social_src, m, n
+            in_order, self.social_dst, self.social_src, m, n
         )
         social = FrozenDiGraph(
             list(range(n)), out_indptr, out_indices, in_indptr, in_indices
         )
         sa_indptr, sa_indices = prefix_csr(
-            sa_order, self.link_social[:ma], self.link_attr, ma, n
+            sa_order, self.link_social, self.link_attr, ma, n, live=alive
         )
         as_indptr, as_indices = prefix_csr(
-            as_order, self.link_attr[:ma], self.link_social, ma, na
+            as_order, self.link_attr, self.link_social, ma, na, live=alive
         )
         attributes = FrozenBipartiteAttributeGraph(
             social.labels(),
@@ -292,7 +316,16 @@ class FastSANModelRun:
             san.add_social_edge(source, target)
         labels = self.attribute_labels
         infos = self.attribute_info
-        for social, attr in zip(self.link_social.tolist(), self.link_attr.tolist()):
+        # Attribute nodes are added explicitly so one fully churned out of its
+        # last member still exists (matching the frozen views' node pools).
+        for label, info in zip(labels, infos):
+            san.add_attribute_node(label, attr_type=info.attr_type, value=info.value)
+        dead = set(self.link_removed_positions.tolist())
+        for position, (social, attr) in enumerate(
+            zip(self.link_social.tolist(), self.link_attr.tolist())
+        ):
+            if position in dead:
+                continue
             info = infos[attr]
             san.add_attribute_edge(
                 social, labels[attr], attr_type=info.attr_type, value=info.value
@@ -324,6 +357,8 @@ class FastSANModelRun:
                 events.append(
                     ArrivalEvent("attribute", first, labels[second], attr_type="model")
                 )
+            elif kind == _EVENT_ATTRIBUTE_REMOVE:
+                events.append(ArrivalEvent("attribute_remove", first, labels[second]))
             else:
                 events.append(ArrivalEvent("social", first, second))
         return history
@@ -333,7 +368,7 @@ class FastSANModelRun:
         n = self.num_social_nodes
         na = len(self.attribute_labels)
         m = int(self.social_src.size)
-        ma = int(self.link_social.size)
+        ma = int(self.link_social.size) - int(self.link_removed_positions.size)
         return {
             "social_nodes": n,
             "attribute_nodes": na,
@@ -387,8 +422,16 @@ def generate_san_fast(
     arrivals_per_step = params.arrivals_per_step
     num_seed = params.seed_social_nodes
     num_seed_attrs = params.seed_attribute_nodes
-    n_total = num_seed + steps * arrivals_per_step
+    n_total = num_seed + params.total_arrivals()  # includes flash/Sybil extras
     stride = n_total  # node-pair key stride for the edge-dedup set
+    flash_by_step: Dict[int, int] = {}
+    for crowd in params.flash_crowds:
+        flash_by_step[crowd.step] = flash_by_step.get(crowd.step, 0) + crowd.arrivals
+    waves_by_step: Dict[int, list] = {}
+    for wave in params.sybil_waves:
+        waves_by_step.setdefault(wave.step, []).append(wave)
+    churn_rate = params.attribute_churn_rate
+    churn_enabled = churn_rate > 0.0
 
     attachment = params.attachment
     beta = attachment.beta if params.use_lapa else 0.0
@@ -408,9 +451,21 @@ def generate_san_fast(
     link_social = GrowableIntArray(4 * n_total)
     link_attr = GrowableIntArray(4 * n_total)  # doubles as the attribute PA pool
     out_degree = [0] * n_total
+    in_degree = [0] * n_total
     death_time = [0.0] * n_total
     adjacency: List[List[int]] = [[] for _ in range(n_total)]  # distinct-neighbor lists
     node_attrs: List[List[int]] = [[] for _ in range(n_total)]
+    # Churn tombstones: the link arrays stay append-only; removals flip a
+    # per-position alive flag and log the position (the snapshot watermark).
+    # ``node_attr_pos`` mirrors ``node_attrs`` with each link's array position.
+    link_alive: List[bool] = []
+    removed_log: List[int] = []
+    node_attr_pos: List[List[int]] = [[] for _ in range(n_total)] if churn_enabled else []
+    # Honest-node pool for uniform draws (Sybils are excluded from LAPA's
+    # smoothing mass and uniform fallback, mirroring the loop engine's
+    # node_pool bookkeeping).
+    honest: List[int] = []
+    sybil_nodes: List[int] = []
     attr_labels: List[str] = []
     attr_info: List[AttributeInfo] = []
     attr_weight: List[float] = []  # interned type weight per attribute
@@ -431,6 +486,8 @@ def generate_san_fast(
                 edst.append(target)
                 edge_keys.add(source * stride + target)
         out_degree[source] = num_seed - 1
+        in_degree[source] = num_seed - 1
+        honest.append(source)
     for attr_id in range(num_seed_attrs):
         attr_labels.append(f"seed:{attr_id}")
         attr_info.append(AttributeInfo(attr_type="seed", value=str(attr_id)))
@@ -443,10 +500,14 @@ def generate_san_fast(
     for source in range(num_seed):
         node_attrs[source] = list(range(num_seed_attrs))
         for attr_id in range(num_seed_attrs):
+            if churn_enabled:
+                node_attr_pos[source].append(link_social.size)
+                link_alive.append(True)
             link_social.append(source)
             link_attr.append(attr_id)
     num_nodes = num_seed
     num_attrs = num_seed_attrs
+    num_alive_links = link_social.size
 
     # Seed social nodes are scheduled at step 0 like every later arrival.
     for node in range(num_seed):
@@ -469,6 +530,7 @@ def generate_san_fast(
         esrc.append(source)
         edst.append(target)
         out_degree[source] += 1
+        in_degree[target] += 1
         if target * stride + source not in edge_keys:
             adjacency[source].append(target)
             adjacency[target].append(source)
@@ -483,7 +545,8 @@ def generate_san_fast(
         # Exact alpha = 1 LAPA decomposition; mirrors sample_lapa_target_fast
         # but with O(|Gamma_a(source)|) mass lookups instead of community scans.
         edge_count = esrc.size
-        degree_mass = edge_count + smoothing * num_nodes
+        num_honest = len(honest)
+        degree_mass = edge_count + smoothing * num_honest
         attribute_mass = 0.0
         masses: List[float] = []
         source_attrs = node_attrs[source]
@@ -518,14 +581,14 @@ def generate_san_fast(
             elif edge_count and uniform() * degree_mass < edge_count:
                 candidate = int(edst.data[int(uniform() * edge_count)])
             else:
-                candidate = int(uniform() * num_nodes)
+                candidate = honest[int(uniform() * num_honest)]
             if candidate != source:
                 return candidate
-        # Retries exhausted (tiny graphs): any node but the source.
-        if num_nodes <= 1:
+        # Retries exhausted (tiny graphs): any honest node but the source.
+        if num_honest <= 1:
             return None
         while True:
-            candidate = int(uniform() * num_nodes)
+            candidate = honest[int(uniform() * num_honest)]
             if candidate != source:
                 return candidate
 
@@ -560,9 +623,10 @@ def generate_san_fast(
     # ------------------------------------------------------------------
     marks: List[SnapshotMark] = []
     for step in range(1, steps + 1):
-        for _ in range(arrivals_per_step):
+        for _ in range(arrivals_per_step + flash_by_step.get(step, 0)):
             node = num_nodes
             num_nodes += 1
+            honest.append(node)
             if event_log is not None:
                 event_log.append((_EVENT_NODE, node, 0))
 
@@ -572,7 +636,7 @@ def generate_san_fast(
                 chosen_attr = -1
                 for _attempt in range(ATTRIBUTE_LINK_RETRIES):
                     pool_size = link_attr.size
-                    if uniform() < p_new_attribute or not pool_size:
+                    if uniform() < p_new_attribute or not num_alive_links:
                         chosen_attr = num_attrs
                         num_attrs += 1
                         label = f"attr:{chosen_attr - num_seed_attrs}"
@@ -585,14 +649,24 @@ def generate_san_fast(
                         members.append([])
                         degree_pool.append([])
                         break
-                    candidate = int(link_attr.data[int(uniform() * pool_size)])
+                    position = int(uniform() * pool_size)
+                    if churn_enabled:
+                        # Tombstoned entries reject without consuming a retry,
+                        # matching the loop engine's eagerly pruned pool.
+                        while not link_alive[position]:
+                            position = int(uniform() * pool_size)
+                    candidate = int(link_attr.data[position])
                     if candidate not in my_attrs:
                         chosen_attr = candidate
                         break
                 if chosen_attr < 0:
                     continue  # every retry collided with an existing link
+                if churn_enabled:
+                    node_attr_pos[node].append(link_social.size)
+                    link_alive.append(True)
                 link_social.append(node)
                 link_attr.append(chosen_attr)
+                num_alive_links += 1
                 members[chosen_attr].append(node)
                 my_attrs.append(chosen_attr)
                 if event_log is not None:
@@ -612,6 +686,31 @@ def generate_san_fast(
             bucket = math.ceil(wake)
             if bucket <= steps:
                 buckets[bucket].append((wake, node))
+
+        # -------------------- Sybil infiltration waves --------------------
+        # Sybils stay out of ``honest`` (no LAPA smoothing mass, never
+        # uniform targets), declare no attributes and never wake; only their
+        # attack edges (and any intra-wave links) touch the arrays.
+        for wave in waves_by_step.get(step, ()):
+            wave_members: List[int] = []
+            for _ in range(wave.num_sybils):
+                sybil = num_nodes
+                num_nodes += 1
+                sybil_nodes.append(sybil)
+                wave_members.append(sybil)
+                if event_log is not None:
+                    event_log.append((_EVENT_NODE, sybil, 0))
+                for _ in range(wave.attack_edges_per_sybil):
+                    victim = honest[int(uniform() * len(honest))]
+                    add_edge(sybil, victim)
+            if len(wave_members) >= 2:
+                for _ in range(wave.intra_links):
+                    first = wave_members[int(uniform() * len(wave_members))]
+                    second = wave_members[int(uniform() * len(wave_members))]
+                    if first == second:
+                        continue
+                    add_edge(first, second)
+                    add_edge(second, first)
 
         # -------------------- woken nodes add links --------------------
         queue = buckets[step]
@@ -640,14 +739,88 @@ def generate_san_fast(
             queue = requeue
         buckets[step] = []
 
+        # -------------------- attribute churn --------------------
+        # One churn event per step at most: a uniform honest node drops one
+        # attribute link (tombstoned in the append-only arrays) and re-links
+        # via the standard new-vs-existing bounded-retry rule.
+        if churn_enabled and uniform() < churn_rate:
+            churner = honest[int(uniform() * len(honest))]
+            held = node_attrs[churner]
+            if held:
+                drop_index = int(uniform() * len(held))
+                dropped = held[drop_index]
+                drop_position = node_attr_pos[churner][drop_index]
+                link_alive[drop_position] = False
+                removed_log.append(drop_position)
+                num_alive_links -= 1
+                del held[drop_index]
+                del node_attr_pos[churner][drop_index]
+                members[dropped].remove(churner)
+                if track_attr_mass:
+                    degree_pool[dropped] = [
+                        member for member in degree_pool[dropped] if member != churner
+                    ]
+                if event_log is not None:
+                    event_log.append((_EVENT_ATTRIBUTE_REMOVE, churner, dropped))
+                replacement = -1
+                for _attempt in range(ATTRIBUTE_LINK_RETRIES):
+                    pool_size = link_attr.size
+                    if uniform() < p_new_attribute or not num_alive_links:
+                        replacement = num_attrs
+                        num_attrs += 1
+                        label = f"attr:{replacement - num_seed_attrs}"
+                        attr_labels.append(label)
+                        attr_info.append(AttributeInfo(attr_type="model", value=label))
+                        attr_weight.append(type_weights.get("model", 1.0))
+                        members.append([])
+                        degree_pool.append([])
+                        break
+                    position = int(uniform() * pool_size)
+                    while not link_alive[position]:
+                        position = int(uniform() * pool_size)
+                    candidate = int(link_attr.data[position])
+                    if candidate != dropped and candidate not in held:
+                        replacement = candidate
+                        break
+                if replacement >= 0:
+                    node_attr_pos[churner].append(link_social.size)
+                    link_alive.append(True)
+                    link_social.append(churner)
+                    link_attr.append(replacement)
+                    num_alive_links += 1
+                    members[replacement].append(churner)
+                    held.append(replacement)
+                    if track_attr_mass and in_degree[churner]:
+                        # Unlike arrivals (in-degree 0 at link time), a churner
+                        # carries existing in-links into its new community.
+                        degree_pool[replacement].extend(
+                            [churner] * in_degree[churner]
+                        )
+                    if event_log is not None:
+                        event_log.append((_EVENT_ATTRIBUTE, churner, replacement))
+
         if snapshot_every is not None and step % snapshot_every == 0:
             marks.append(
-                SnapshotMark(step, num_nodes, esrc.size, num_attrs, link_social.size)
+                SnapshotMark(
+                    step,
+                    num_nodes,
+                    esrc.size,
+                    num_attrs,
+                    link_social.size - len(removed_log),
+                    len(removed_log),
+                )
             )
 
     if snapshot_every is not None and (not marks or marks[-1].step != steps):
         marks.append(
-            SnapshotMark(steps, num_nodes, esrc.size, num_attrs, link_social.size)
+            SnapshotMark(
+                steps,
+                num_nodes,
+                esrc.size,
+                num_attrs,
+                link_social.size - len(removed_log),
+                len(removed_log),
+            )
         )
 
     return FastSANModelRun(
@@ -660,6 +833,8 @@ def generate_san_fast(
         attribute_labels=attr_labels,
         attribute_info=attr_info,
         marks=marks,
+        link_removed_positions=np.asarray(removed_log, dtype=np.int64),
+        sybil_nodes=sybil_nodes,
         _event_log=event_log,
     )
 

@@ -28,16 +28,28 @@ Node = Hashable
 EVENT_NODE = "node"
 EVENT_ATTRIBUTE = "attribute"
 EVENT_SOCIAL = "social"
+EVENT_ATTRIBUTE_REMOVE = "attribute_remove"
+EVENT_SOCIAL_REMOVE = "social_remove"
+
+_EVENT_KINDS = (
+    EVENT_NODE,
+    EVENT_ATTRIBUTE,
+    EVENT_SOCIAL,
+    EVENT_ATTRIBUTE_REMOVE,
+    EVENT_SOCIAL_REMOVE,
+)
 
 
 @dataclass(frozen=True)
 class ArrivalEvent:
-    """A single growth event.
+    """A single growth (or churn) event.
 
     ``kind`` is one of ``"node"`` (a new social node ``first`` joins),
     ``"attribute"`` (social node ``first`` links to attribute node ``second``
-    of type ``attr_type``), or ``"social"`` (directed social link ``first ->
-    second``).
+    of type ``attr_type``), ``"social"`` (directed social link ``first ->
+    second``), or the churn counterparts ``"attribute_remove"`` /
+    ``"social_remove"`` (the named link is deleted — users changing employers,
+    unfollows).
     """
 
     kind: str
@@ -47,7 +59,7 @@ class ArrivalEvent:
     value: Optional[str] = None
 
     def __post_init__(self) -> None:
-        if self.kind not in (EVENT_NODE, EVENT_ATTRIBUTE, EVENT_SOCIAL):
+        if self.kind not in _EVENT_KINDS:
             raise ValueError(f"unknown event kind {self.kind!r}")
         if self.kind != EVENT_NODE and self.second is None:
             raise ValueError(f"{self.kind} events need a second endpoint")
@@ -75,6 +87,12 @@ class ArrivalHistory:
 
     def record_social_link(self, source: Node, target: Node) -> None:
         self.events.append(ArrivalEvent(EVENT_SOCIAL, source, target))
+
+    def record_attribute_removal(self, social: Node, attribute: Node) -> None:
+        self.events.append(ArrivalEvent(EVENT_ATTRIBUTE_REMOVE, social, attribute))
+
+    def record_social_removal(self, source: Node, target: Node) -> None:
+        self.events.append(ArrivalEvent(EVENT_SOCIAL_REMOVE, source, target))
 
     # ------------------------------------------------------------------
     # Introspection
@@ -145,12 +163,16 @@ class ArrivalHistory:
 
 
 def apply_event(san: SAN, event: ArrivalEvent) -> None:
-    """Apply one growth event to ``san`` in place."""
+    """Apply one growth or churn event to ``san`` in place."""
     if event.kind == EVENT_NODE:
         san.add_social_node(event.first)
     elif event.kind == EVENT_ATTRIBUTE:
         san.add_attribute_edge(
             event.first, event.second, attr_type=event.attr_type, value=event.value
         )
+    elif event.kind == EVENT_ATTRIBUTE_REMOVE:
+        san.remove_attribute_edge(event.first, event.second)
+    elif event.kind == EVENT_SOCIAL_REMOVE:
+        san.remove_social_edge(event.first, event.second)
     else:
         san.add_social_edge(event.first, event.second)

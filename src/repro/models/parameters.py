@@ -3,9 +3,49 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from ..utils.validation import require_non_negative, require_positive, require_probability
+
+
+@dataclass(frozen=True)
+class FlashCrowd:
+    """A burst of extra arrivals at one step, breaking the steady schedule.
+
+    ``arrivals`` nodes join at ``step`` *on top of* the configured
+    ``arrivals_per_step`` — the generative-model analogue of a public-launch
+    surge (the Google+ Phase III jump).
+    """
+
+    step: int
+    arrivals: int
+
+    def __post_init__(self) -> None:
+        require_positive(self.step, "step")
+        require_positive(self.arrivals, "arrivals")
+
+
+@dataclass(frozen=True)
+class SybilWave:
+    """A wave of Sybil identities injected at one step (Section 6.3 attack).
+
+    Each of the ``num_sybils`` identities creates ``attack_edges_per_sybil``
+    directed links to uniformly chosen honest nodes, and the wave wires
+    ``intra_links`` mutual links among its own members.  Sybils declare no
+    attributes and never enter the wake process — they exist to stress the
+    attack-edge cut the SybilRank-style defense relies on.
+    """
+
+    step: int
+    num_sybils: int
+    attack_edges_per_sybil: int = 1
+    intra_links: int = 0
+
+    def __post_init__(self) -> None:
+        require_positive(self.step, "step")
+        require_positive(self.num_sybils, "num_sybils")
+        require_non_negative(self.attack_edges_per_sybil, "attack_edges_per_sybil")
+        require_non_negative(self.intra_links, "intra_links")
 
 
 @dataclass
@@ -86,6 +126,15 @@ class SANModelParameters:
         Ablation switch: ``False`` replaces LAPA with classical PA (Figure 18a).
     use_focal_closure:
         Ablation switch: ``False`` replaces RR-SAN with classical RR (Figure 18b).
+    attribute_churn_rate:
+        Per-step probability of one churn event: a uniformly chosen existing
+        node drops one of its attribute links (a user changing employers) and
+        immediately re-links via the standard new-vs-existing attribute rule.
+        ``0`` (the default) reproduces the paper's append-only growth exactly.
+    flash_crowds:
+        Extra arrival bursts at fixed steps (see :class:`FlashCrowd`).
+    sybil_waves:
+        Sybil-identity injections at fixed steps (see :class:`SybilWave`).
     """
 
     steps: int = 2000
@@ -103,6 +152,9 @@ class SANModelParameters:
     seed_attribute_nodes: int = 5
     use_lapa: bool = True
     use_focal_closure: bool = True
+    attribute_churn_rate: float = 0.0
+    flash_crowds: Tuple[FlashCrowd, ...] = ()
+    sybil_waves: Tuple[SybilWave, ...] = ()
 
     def __post_init__(self) -> None:
         require_positive(self.steps, "steps")
@@ -113,6 +165,15 @@ class SANModelParameters:
         require_probability(self.reciprocation_probability, "reciprocation_probability")
         require_positive(self.seed_social_nodes, "seed_social_nodes")
         require_positive(self.seed_attribute_nodes, "seed_attribute_nodes")
+        require_probability(self.attribute_churn_rate, "attribute_churn_rate")
+        self.flash_crowds = tuple(self.flash_crowds)
+        self.sybil_waves = tuple(self.sybil_waves)
+
+    def total_arrivals(self) -> int:
+        """Total non-seed nodes the model will create, regimes included."""
+        extra = sum(crowd.arrivals for crowd in self.flash_crowds)
+        extra += sum(wave.num_sybils for wave in self.sybil_waves)
+        return self.steps * self.arrivals_per_step + extra
 
 
 @dataclass

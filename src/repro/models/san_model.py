@@ -73,6 +73,7 @@ class SANModelRun:
     history: ArrivalHistory
     snapshots: List[Tuple[int, SAN]] = field(default_factory=list)
     parameters: Optional[SANModelParameters] = None
+    sybil_nodes: List[Node] = field(default_factory=list)
 
 
 class SANGenerativeModel:
@@ -134,6 +135,13 @@ class SANGenerativeModel:
         )
 
         snapshots: List[Tuple[int, SAN]] = []
+        sybil_nodes: List[Node] = []
+        flash_by_step: Dict[int, int] = {}
+        for crowd in params.flash_crowds:
+            flash_by_step[crowd.step] = flash_by_step.get(crowd.step, 0) + crowd.arrivals
+        waves_by_step: Dict[int, List] = {}
+        for wave in params.sybil_waves:
+            waves_by_step.setdefault(wave.step, []).append(wave)
 
         def add_social_edge(source: Node, target: Node) -> bool:
             """Insert a social edge, updating pools and the history."""
@@ -147,7 +155,8 @@ class SANGenerativeModel:
 
         for step in range(1, params.steps + 1):
             # -------------------- social node arrival --------------------
-            for _ in range(params.arrivals_per_step):
+            arrivals = params.arrivals_per_step + flash_by_step.get(step, 0)
+            for _ in range(arrivals):
                 new_node = next_social_id
                 next_social_id += 1
                 san.add_social_node(new_node)
@@ -199,6 +208,32 @@ class SANGenerativeModel:
                 heap_counter += 1
                 heapq.heappush(wake_heap, (step + sleep, heap_counter, new_node))
 
+            # -------------------- Sybil infiltration waves --------------------
+            # Sybils join the graph but stay out of the sampling pools: they
+            # declare no attributes, never wake, and are never LAPA/uniform
+            # targets — only their attack edges touch the honest region.
+            for wave in waves_by_step.get(step, ()):
+                wave_members: List[Node] = []
+                for _ in range(wave.num_sybils):
+                    sybil = next_social_id
+                    next_social_id += 1
+                    san.add_social_node(sybil)
+                    if record_history:
+                        history.record_node(sybil)
+                    sybil_nodes.append(sybil)
+                    wave_members.append(sybil)
+                    for _ in range(wave.attack_edges_per_sybil):
+                        victim = node_pool[rng.randrange(len(node_pool))]
+                        add_social_edge(sybil, victim)
+                if len(wave_members) >= 2:
+                    for _ in range(wave.intra_links):
+                        first = wave_members[rng.randrange(len(wave_members))]
+                        second = wave_members[rng.randrange(len(wave_members))]
+                        if first == second:
+                            continue
+                        add_social_edge(first, second)
+                        add_social_edge(second, first)
+
             # -------------------- woken nodes add links --------------------
             while wake_heap and wake_heap[0][0] <= step:
                 wake_time, _, node = heapq.heappop(wake_heap)
@@ -225,6 +260,36 @@ class SANGenerativeModel:
                 heap_counter += 1
                 heapq.heappush(wake_heap, (wake_time + sleep, heap_counter, node))
 
+            # -------------------- attribute churn --------------------
+            if params.attribute_churn_rate and rng.random() < params.attribute_churn_rate:
+                churner = node_pool[rng.randrange(len(node_pool))]
+                held = list(san.attribute_neighbors(churner))
+                if held:
+                    dropped = held[rng.randrange(len(held))]
+                    san.remove_attribute_edge(churner, dropped)
+                    attribute_pool.remove(dropped)
+                    if record_history:
+                        history.record_attribute_removal(churner, dropped)
+                    replacement = None
+                    for _attempt in range(ATTRIBUTE_LINK_RETRIES):
+                        if rng.random() < params.new_attribute_probability or not attribute_pool:
+                            replacement = f"attr:{next_attribute_id}"
+                            next_attribute_id += 1
+                            break
+                        candidate = attribute_pool[rng.randrange(len(attribute_pool))]
+                        if candidate != dropped and not san.has_attribute_edge(
+                            churner, candidate
+                        ):
+                            replacement = candidate
+                            break
+                    if replacement is not None:
+                        san.add_attribute_edge(churner, replacement, attr_type="model")
+                        attribute_pool.append(replacement)
+                        if record_history:
+                            history.record_attribute_link(
+                                churner, replacement, attr_type="model"
+                            )
+
             if snapshot_every is not None and step % snapshot_every == 0:
                 snapshots.append((step, san.copy()))
 
@@ -232,7 +297,11 @@ class SANGenerativeModel:
             snapshots.append((params.steps, san.copy()))
 
         return SANModelRun(
-            san=san, history=history, snapshots=snapshots, parameters=params
+            san=san,
+            history=history,
+            snapshots=snapshots,
+            parameters=params,
+            sybil_nodes=sybil_nodes,
         )
 
     # ------------------------------------------------------------------

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 from ..graph.bipartite import AttributeInfo
 from ..graph.builders import attribute_node_id
@@ -37,7 +37,7 @@ from ..graph.san import SAN
 from ..metrics.evolution import PhaseBoundaries
 from ..models.history import ArrivalEvent, ArrivalHistory, apply_event
 from ..utils.rng import RngLike, ensure_rng
-from ..utils.validation import require_probability
+from ..utils.validation import require_non_negative, require_positive, require_probability
 from .arrival import ArrivalSchedule, three_phase_schedule
 from .attributes import ProfileModel, build_vocabulary, default_vocabularies
 
@@ -52,6 +52,41 @@ class TimedEvent:
     event: ArrivalEvent
 
 
+@dataclass(frozen=True)
+class SybilWaveDay:
+    """A Sybil infiltration wave hitting the simulated network on one day.
+
+    Each of the ``num_sybils`` fake identities links to
+    ``attack_edges_per_sybil`` uniformly chosen honest users (the attack edges
+    whose scarcity the Section 6.3 defense exploits) and the wave wires
+    ``intra_links`` mutual links among its own members.  Sybils declare no
+    profile attributes and schedule no organic link budgets.
+    """
+
+    day: int
+    num_sybils: int
+    attack_edges_per_sybil: int = 2
+    intra_links: int = 0
+
+    def __post_init__(self) -> None:
+        require_positive(self.day, "day")
+        require_positive(self.num_sybils, "num_sybils")
+        require_non_negative(self.attack_edges_per_sybil, "attack_edges_per_sybil")
+        require_non_negative(self.intra_links, "intra_links")
+
+
+@dataclass(frozen=True)
+class FlashCrowdDay:
+    """Extra arrivals on one day, on top of the three-phase schedule."""
+
+    day: int
+    arrivals: int
+
+    def __post_init__(self) -> None:
+        require_positive(self.day, "day")
+        require_positive(self.arrivals, "arrivals")
+
+
 @dataclass
 class GroundTruthEvolution:
     """Day-stamped event log of a simulated Google+-like network."""
@@ -61,6 +96,8 @@ class GroundTruthEvolution:
     join_day: Dict[Node, int] = field(default_factory=dict)
     profiles: Dict[Node, Dict[str, str]] = field(default_factory=dict)
     phases: PhaseBoundaries = field(default_factory=PhaseBoundaries)
+    #: User ids injected by Sybil waves (empty without the adversarial regime).
+    sybil_nodes: List[Node] = field(default_factory=list)
 
     def san_at(self, day: int) -> SAN:
         """The ground-truth SAN at the end of ``day``."""
@@ -113,6 +150,13 @@ class GroundTruthEvolution:
         edge_dst: List[int] = []
         link_social: List[int] = []
         link_attr: List[int] = []
+        # Churn support: the arrays stay append-only; removals tombstone the
+        # link's position (tracked via the alive pair -> position map) and the
+        # per-day marks carry a removal-log watermark.
+        link_position: Dict[Tuple[int, int], int] = {}
+        removed_links: List[int] = []
+        edge_position: Dict[Tuple[int, int], int] = {}
+        removed_edges: List[int] = []
 
         def social_id(node: Node) -> int:
             compact = social_index.get(node)
@@ -122,7 +166,7 @@ class GroundTruthEvolution:
                 social_labels.append(node)
             return compact
 
-        marks: List[Tuple[int, int, int, int, int]] = []
+        marks: List[Tuple[int, int, int, int, int, int, int]] = []
         index = 0
         for day in range(1, self.num_days + 1):
             while index < len(self.events) and self.events[index].day <= day:
@@ -131,8 +175,16 @@ class GroundTruthEvolution:
                 if event.kind == "node":
                     social_id(event.first)
                 elif event.kind == "social":
-                    edge_src.append(social_id(event.first))
-                    edge_dst.append(social_id(event.second))
+                    pair = (social_id(event.first), social_id(event.second))
+                    edge_position[pair] = len(edge_src)
+                    edge_src.append(pair[0])
+                    edge_dst.append(pair[1])
+                elif event.kind == "social_remove":
+                    pair = (social_id(event.first), social_id(event.second))
+                    removed_edges.append(edge_position.pop(pair))
+                elif event.kind == "attribute_remove":
+                    pair = (social_id(event.first), attr_index[event.second])
+                    removed_links.append(link_position.pop(pair))
                 else:
                     attr_id = attr_index.get(event.second)
                     if attr_id is None:
@@ -142,31 +194,51 @@ class GroundTruthEvolution:
                         attr_info.append(
                             AttributeInfo(attr_type=event.attr_type, value=event.value)
                         )
+                    pair = (social_id(event.first), attr_id)
+                    link_position[pair] = len(link_social)
                     link_social.append(social_id(event.first))
                     link_attr.append(attr_id)
             if day in wanted:
                 marks.append(
-                    (day, len(social_labels), len(edge_src), len(attr_labels), len(link_social))
+                    (
+                        day,
+                        len(social_labels),
+                        len(edge_src),
+                        len(attr_labels),
+                        len(link_social),
+                        len(removed_edges),
+                        len(removed_links),
+                    )
                 )
 
         src = np.asarray(edge_src, dtype=np.int64)
         dst = np.asarray(edge_dst, dtype=np.int64)
         lsoc = np.asarray(link_social, dtype=np.int64)
         lattr = np.asarray(link_attr, dtype=np.int64)
+        removed_edge_log = np.asarray(removed_edges, dtype=np.int64)
+        removed_link_log = np.asarray(removed_links, dtype=np.int64)
+
+        def prefix(full: np.ndarray, count: int, log: np.ndarray, dead: int) -> np.ndarray:
+            if not dead:
+                return full[:count]
+            keep = np.ones(count, dtype=bool)
+            keep[log[:dead]] = False
+            return full[:count][keep]
+
         return [
             (
                 day,
                 FrozenSAN.from_edge_arrays(
                     social_labels[:n],
-                    src[:m],
-                    dst[:m],
+                    prefix(src, m, removed_edge_log, me),
+                    prefix(dst, m, removed_edge_log, me),
                     attr_labels[:na],
                     attr_info[:na],
-                    lsoc[:ma],
-                    lattr[:ma],
+                    prefix(lsoc, ma, removed_link_log, ml),
+                    prefix(lattr, ma, removed_link_log, ml),
                 ),
             )
-            for day, n, m, na, ma in marks
+            for day, n, m, na, ma, me, ml in marks
         ]
 
     def arrival_history(
@@ -267,6 +339,16 @@ class GooglePlusConfig:
     tech_tilt_phase2: float = 0.15
     tech_tilt_phase3: float = 0.05
 
+    # Scenario regimes (all off by default — the paper's observed workload).
+    #: Expected attribute-churn events per day: a uniform profiled user drops
+    #: one declared attribute and redeclares a different value of the same
+    #: type (users changing employers).  May exceed 1.
+    attribute_churn_rate: float = 0.0
+    #: Arrival bursts breaking the three-phase schedule.
+    flash_crowds: Tuple[FlashCrowdDay, ...] = ()
+    #: Sybil infiltration waves (Section 6.3 attack edges).
+    sybil_waves: Tuple[SybilWaveDay, ...] = ()
+
     def __post_init__(self) -> None:
         require_probability(self.triadic_probability, "triadic_probability")
         require_probability(self.focal_probability, "focal_probability")
@@ -280,6 +362,15 @@ class GooglePlusConfig:
             "invitation_probability_phase3",
         ):
             require_probability(getattr(self, name), name)
+        require_non_negative(self.attribute_churn_rate, "attribute_churn_rate")
+        self.flash_crowds = tuple(self.flash_crowds)
+        self.sybil_waves = tuple(self.sybil_waves)
+        for crowd in self.flash_crowds:
+            if crowd.day > self.num_days:
+                raise ValueError(f"flash crowd day {crowd.day} exceeds num_days")
+        for wave in self.sybil_waves:
+            if wave.day > self.num_days:
+                raise ValueError(f"sybil wave day {wave.day} exceeds num_days")
 
 
 class GooglePlusSimulator:
@@ -324,16 +415,29 @@ class GooglePlusSimulator:
         ]
         in_degree_pool: List[Node] = []  # one entry per incoming link (for PA)
         all_users: List[Node] = []
+        profiled_users: List[Node] = []  # users with a non-empty profile (churn pool)
+        flash_extra: Dict[int, int] = {}
+        for crowd in config.flash_crowds:
+            flash_extra[crowd.day] = flash_extra.get(crowd.day, 0) + crowd.arrivals
+        waves_by_day: Dict[int, List[SybilWaveDay]] = {}
+        for wave in config.sybil_waves:
+            waves_by_day.setdefault(wave.day, []).append(wave)
 
         def emit(day: int, event: ArrivalEvent) -> None:
             evolution.events.append(TimedEvent(day=day, event=event))
             apply_event(san, event)
 
+        sybil_users: Set[Node] = set()
+
         def add_social_link(day: int, source: Node, target: Node) -> bool:
             if source == target or san.has_social_edge(source, target):
                 return False
             emit(day, ArrivalEvent("social", source, target))
-            in_degree_pool.append(target)
+            # Sybil targets never enter the preferential-attachment pool:
+            # intra-wave links must not make fake identities attractive to
+            # honest users (only triadic closure can organically reach them).
+            if target not in sybil_users:
+                in_degree_pool.append(target)
             return True
 
         def maybe_reciprocate(day: int, source: Node, target: Node, probability: float) -> None:
@@ -356,7 +460,7 @@ class GooglePlusSimulator:
             reciprocation = self._reciprocation(day, rng)
 
             # ---------------------- new user arrivals ----------------------
-            for _ in range(schedule.arrivals_on(day)):
+            for _ in range(schedule.arrivals_on(day) + flash_extra.get(day, 0)):
                 user = next_user_id
                 next_user_id += 1
                 evolution.join_day[user] = day
@@ -370,6 +474,8 @@ class GooglePlusSimulator:
                     rng=rng, inviter_profile=inviter_profile, tech_tilt=tech_tilt
                 )
                 evolution.profiles[user] = profile
+                if profile:
+                    profiled_users.append(user)
                 for attr_type, value in profile.items():
                     emit(
                         day,
@@ -395,6 +501,35 @@ class GooglePlusSimulator:
                     if target_day <= config.num_days:
                         pending_links[target_day].append(user)
 
+            # ---------------------- Sybil infiltration waves ----------------------
+            # Sybils stay out of all_users (never inviters, PA or focal
+            # targets) and schedule no link budgets; only their attack edges
+            # (and intra-wave links) touch the honest region.
+            for wave in waves_by_day.get(day, ()):
+                wave_members: List[Node] = []
+                for _ in range(wave.num_sybils):
+                    sybil = next_user_id
+                    next_user_id += 1
+                    evolution.join_day[sybil] = day
+                    evolution.profiles[sybil] = {}
+                    evolution.sybil_nodes.append(sybil)
+                    sybil_users.add(sybil)
+                    wave_members.append(sybil)
+                    emit(day, ArrivalEvent("node", sybil))
+                    for _ in range(wave.attack_edges_per_sybil):
+                        if not all_users:
+                            break
+                        victim = all_users[rng.randrange(len(all_users))]
+                        add_social_link(day, sybil, victim)
+                if len(wave_members) >= 2:
+                    for _ in range(wave.intra_links):
+                        first = wave_members[rng.randrange(len(wave_members))]
+                        second = wave_members[rng.randrange(len(wave_members))]
+                        if first == second:
+                            continue
+                        add_social_link(day, first, second)
+                        add_social_link(day, second, first)
+
             # ---------------------- scheduled link creation ----------------------
             for source in pending_links[day]:
                 if not san.is_social_node(source):
@@ -409,6 +544,54 @@ class GooglePlusSimulator:
             for source, target in pending_reciprocations[day]:
                 if san.is_social_node(source) and san.is_social_node(target):
                     add_social_link(day, source, target)
+
+            # ---------------------- attribute churn ----------------------
+            # A profiled user drops one declared attribute and redeclares a
+            # different value of the same type (changing employers); the
+            # event log records the removal so every snapshot view agrees.
+            if config.attribute_churn_rate > 0.0:
+                churn_events = int(config.attribute_churn_rate)
+                fraction = config.attribute_churn_rate - churn_events
+                if fraction > 0.0 and rng.random() < fraction:
+                    churn_events += 1
+                for _ in range(churn_events):
+                    if not profiled_users:
+                        break
+                    user = profiled_users[rng.randrange(len(profiled_users))]
+                    profile = evolution.profiles[user]
+                    attr_types = list(profile)
+                    attr_type = attr_types[rng.randrange(len(attr_types))]
+                    old_value = profile[attr_type]
+                    emit(
+                        day,
+                        ArrivalEvent(
+                            "attribute_remove",
+                            user,
+                            attribute_node_id(attr_type, old_value),
+                        ),
+                    )
+                    vocabulary = vocabularies[attr_type]
+                    new_value = old_value
+                    for _attempt in range(10):
+                        new_value = vocabulary.sample(rng=rng)
+                        if new_value != old_value:
+                            break
+                    if new_value == old_value:
+                        del profile[attr_type]
+                        if not profile:
+                            profiled_users.remove(user)
+                        continue
+                    profile[attr_type] = new_value
+                    emit(
+                        day,
+                        ArrivalEvent(
+                            "attribute",
+                            user,
+                            attribute_node_id(attr_type, new_value),
+                            attr_type=attr_type,
+                            value=new_value,
+                        ),
+                    )
 
         return evolution
 

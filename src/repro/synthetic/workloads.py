@@ -15,7 +15,13 @@ from ..graph.san import SAN
 from ..metrics.evolution import PhaseBoundaries
 from ..models.parameters import SANModelParameters
 from ..utils.rng import RngLike
-from .gplus import GooglePlusConfig, GroundTruthEvolution, simulate_google_plus
+from .gplus import (
+    FlashCrowdDay,
+    GooglePlusConfig,
+    GroundTruthEvolution,
+    SybilWaveDay,
+    simulate_google_plus,
+)
 
 #: Default seed used by the benchmarks (documented in EXPERIMENTS.md).
 BENCH_SEED = 20120835  # arXiv id of the paper
@@ -94,6 +100,55 @@ def high_reciprocity_config() -> GooglePlusConfig:
         reciprocation_phase3=0.55,
         delayed_reciprocation_probability=0.25,
         shared_attribute_reciprocation_boost=1.8,
+    )
+
+
+def sybil_wave_config(num_days: int = 40) -> GooglePlusConfig:
+    """Tiny workload plus two Sybil infiltration waves (Section 6.3 attack).
+
+    The waves inject ~15% fake identities whose only honest contact is a thin
+    band of attack edges — the regime the ranking defense must separate.
+    """
+    return GooglePlusConfig(
+        total_users=400,
+        num_days=num_days,
+        phases=PhaseBoundaries(phase_one_end=10, phase_two_end=30),
+        sybil_waves=(
+            SybilWaveDay(day=20, num_sybils=30, attack_edges_per_sybil=2, intra_links=60),
+            SybilWaveDay(day=32, num_sybils=30, attack_edges_per_sybil=1, intra_links=60),
+        ),
+    )
+
+
+def churn_config(num_days: int = 40) -> GooglePlusConfig:
+    """Tiny workload with heavy attribute churn (users changing employers).
+
+    ~3 churn events/day over 40 days rewrites a visible fraction of the
+    attribute links, exercising the edge-removal (tombstone) paths of every
+    snapshot backend.
+    """
+    return GooglePlusConfig(
+        total_users=400,
+        num_days=num_days,
+        phases=PhaseBoundaries(phase_one_end=10, phase_two_end=30),
+        attribute_churn_rate=3.0,
+    )
+
+
+def flash_crowd_config(num_days: int = 40) -> GooglePlusConfig:
+    """Tiny workload with two arrival bursts breaking the three-phase schedule.
+
+    Each burst adds ~20% of the steady-state population in a single day —
+    the growth curve keeps its phase structure but with sharp spikes.
+    """
+    return GooglePlusConfig(
+        total_users=400,
+        num_days=num_days,
+        phases=PhaseBoundaries(phase_one_end=10, phase_two_end=30),
+        flash_crowds=(
+            FlashCrowdDay(day=15, arrivals=80),
+            FlashCrowdDay(day=33, arrivals=80),
+        ),
     )
 
 

@@ -116,3 +116,59 @@ def test_crawl_evolution_with_privacy(tiny_evolution, tiny_snapshot_days):
     )
     assert len(series) == 2
     assert all(coverage > 0.5 for coverage in series.coverage.values())
+
+
+# ----------------------------------------------------------------------
+# Privacy-model edge cases and the visibility sweep
+# ----------------------------------------------------------------------
+def test_privacy_salts_keep_link_and_attribute_decisions_independent():
+    privacy = PrivacyModel(
+        hide_links_probability=0.5, hide_attributes_probability=0.5, seed=11
+    )
+    users = range(200)
+    link_decisions = [privacy.hides_links(user) for user in users]
+    attribute_decisions = [privacy.hides_attributes(user) for user in users]
+    # Same seed, different salt: the two decision streams must not collapse
+    # onto each other (a shared stream would correlate the two hiding rates).
+    assert link_decisions != attribute_decisions
+    same_seed = PrivacyModel(
+        hide_links_probability=0.5, hide_attributes_probability=0.5, seed=11
+    )
+    assert link_decisions == [same_seed.hides_links(user) for user in users]
+    other_seed = PrivacyModel(hide_links_probability=0.5, seed=12)
+    assert link_decisions != [other_seed.hides_links(user) for user in users]
+
+
+def test_hiding_decisions_are_monotone_in_the_rate():
+    """With one seed, raising the hide rate only ever hides *more* users."""
+    users = range(200)
+    hidden_sets = []
+    for rate in (0.0, 0.2, 0.5, 0.8, 1.0):
+        privacy = PrivacyModel(hide_links_probability=rate, seed=5)
+        hidden_sets.append({user for user in users if privacy.hides_links(user)})
+    assert hidden_sets[0] == set()
+    assert len(hidden_sets[-1]) == 200
+    for smaller, larger in zip(hidden_sets, hidden_sets[1:]):
+        assert smaller <= larger
+
+
+def test_visibility_sweep_monotonically_shrinks_the_crawl(tiny_evolution):
+    """More hiding can only cost the crawler edges, never gain them."""
+    ground_truth = tiny_evolution.final_san()
+    seeds = sorted(ground_truth.social_nodes(), key=str)[:10]
+    edge_counts = []
+    for rate in (0.0, 0.2, 0.5, 0.8, 1.0):
+        privacy = PrivacyModel(hide_links_probability=rate, seed=7)
+        result = crawl_snapshot(ground_truth, seeds=seeds, privacy=privacy)
+        edge_counts.append(result.san.number_of_social_edges())
+    assert edge_counts == sorted(edge_counts, reverse=True)
+    assert edge_counts[0] > edge_counts[-1]
+
+
+def test_everyone_hiding_links_strands_the_crawl_at_its_seeds(figure1_san):
+    privacy = PrivacyModel(hide_links_probability=1.0)
+    seeds = sorted(figure1_san.social_nodes(), key=str)[:2]
+    result = crawl_snapshot(figure1_san, seeds=seeds, privacy=privacy)
+    # No user exposes a circle list, so BFS can never leave the seed set.
+    assert set(result.visited) == set(seeds)
+    assert result.san.number_of_social_edges() == 0

@@ -70,8 +70,8 @@ def tiny_pipeline(pipeline_cache):
 # ----------------------------------------------------------------------
 def test_every_figure_is_registered():
     names = experiment_names()
-    assert len(names) == 19
-    assert names[0] == "fig02_03" and names[-1] == "fig19"
+    assert len(names) == 20
+    assert names[0] == "fig02_03" and names[-1] == "fidelity"
     for stage in experiment_stages().values():
         assert stage.needs, f"stage {stage.name} declares no artifacts"
         for need in stage.needs:
@@ -143,6 +143,10 @@ def test_scenario_presets_are_registered_and_tokenisable():
         "sparse",
         "dense",
         "high-reciprocity",
+        "sybil-waves",
+        "churn",
+        "flash-crowd",
+        "privacy-heavy",
     ):
         assert expected in names
         token = get_scenario(expected).cache_token()

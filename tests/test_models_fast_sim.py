@@ -20,7 +20,9 @@ from repro.metrics import (
     social_out_degrees,
 )
 from repro.models import (
+    FlashCrowd,
     LOOP_ENGINE,
+    SybilWave,
     SAN_GENERATE_OP,
     VECTORIZED_ENGINE,
     FastSANModelRun,
@@ -290,3 +292,70 @@ def test_fast_engine_ablations_run(kwargs):
     assert run.summary()["social_edges"] > expected_nodes
     if kwargs.get("reciprocation_probability") == 0.0:
         assert global_reciprocity(run.san) < 0.1
+
+
+# ----------------------------------------------------------------------
+# Distributional parity under adversarial / churn regimes
+# ----------------------------------------------------------------------
+REGIME_PARAMS = {
+    "churn": dict(attribute_churn_rate=0.2),
+    "flash-crowd": dict(flash_crowds=(FlashCrowd(step=600, arrivals=150),)),
+    "sybil-waves": dict(
+        sybil_waves=(
+            SybilWave(step=500, num_sybils=30, attack_edges_per_sybil=2,
+                      intra_links=45),
+            SybilWave(step=900, num_sybils=20, attack_edges_per_sybil=1,
+                      intra_links=30),
+        )
+    ),
+}
+
+
+@pytest.fixture(scope="module", params=sorted(REGIME_PARAMS))
+def regime_runs(request):
+    params = SANModelParameters(steps=1200, **REGIME_PARAMS[request.param])
+    fast = generate_san_fast(params, rng=PARITY_SEED)
+    loop = generate_san(params, rng=PARITY_SEED, record_history=False)
+    return request.param, params, fast, loop
+
+
+def test_ks_parity_out_degree_under_regimes(regime_runs):
+    """The vectorized engine must track the loop engine inside every regime."""
+    name, _, fast, loop = regime_runs
+    fast_degrees = list(social_out_degrees(fast.san))
+    loop_degrees = list(social_out_degrees(loop.san))
+    statistic = two_sample_ks_statistic(fast_degrees, loop_degrees)
+    threshold = ks_two_sample_threshold(len(fast_degrees), len(loop_degrees))
+    assert statistic < threshold, (
+        f"{name}: out-degree KS {statistic:.4f} >= threshold {threshold:.4f}"
+    )
+
+
+def test_ks_parity_attribute_degree_under_regimes(regime_runs):
+    name, _, fast, loop = regime_runs
+    fast_degrees = list(attribute_degrees_of_social_nodes(fast.san))
+    loop_degrees = list(attribute_degrees_of_social_nodes(loop.san))
+    statistic = two_sample_ks_statistic(fast_degrees, loop_degrees)
+    threshold = ks_two_sample_threshold(len(fast_degrees), len(loop_degrees))
+    assert statistic < threshold, (
+        f"{name}: attribute-degree KS {statistic:.4f} >= threshold {threshold:.4f}"
+    )
+
+
+def test_regime_structural_counts_agree(regime_runs):
+    """Deterministic regime bookkeeping must match exactly across engines."""
+    name, params, fast, loop = regime_runs
+    assert len(fast.sybil_nodes) == len(loop.sybil_nodes) == sum(
+        wave.num_sybils for wave in params.sybil_waves
+    )
+    expected_nodes = (
+        params.seed_social_nodes
+        + params.steps * params.arrivals_per_step
+        + sum(crowd.arrivals for crowd in params.flash_crowds)
+        + sum(wave.num_sybils for wave in params.sybil_waves)
+    )
+    assert fast.san.number_of_social_nodes() == expected_nodes
+    assert loop.san.number_of_social_nodes() == expected_nodes
+    fast_edges = fast.summary()["social_edges"]
+    loop_edges = loop.san.number_of_social_edges()
+    assert fast_edges == pytest.approx(loop_edges, rel=0.25), name
