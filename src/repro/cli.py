@@ -225,8 +225,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs",
         type=int,
         default=1,
-        help="worker threads for stage execution (stages are independent "
-        "once the artifacts are materialized)",
+        help="concurrent stage executions (stages are independent once the "
+        "artifacts are materialized); with a cache dir, N jobs run on N "
+        "worker processes, i.e. N cores",
+    )
+    pipeline.add_argument(
+        "--executor",
+        choices=("auto", "thread", "process"),
+        default="auto",
+        help="stage executor: 'process' uses a multi-core worker pool that "
+        "rehydrates artifacts from the disk cache, 'thread' the legacy "
+        "in-process pool; 'auto' (default) picks processes whenever "
+        "--jobs > 1 and --cache-dir is set",
     )
     pipeline.add_argument(
         "--cache-dir",
@@ -491,6 +501,8 @@ def _command_pipeline(args: argparse.Namespace) -> int:
             jobs=max(1, args.jobs),
             cache_dir=args.cache_dir,
             out_dir=args.out,
+            executor=args.executor,
+            strict=False,
         )
     except (UnknownScenarioError, UnknownExperimentError, UnknownArtifactError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -499,15 +511,18 @@ def _command_pipeline(args: argparse.Namespace) -> int:
     manifest = result.manifest()
     print(
         f"pipeline scenario={result.scenario.name} jobs={result.jobs} "
-        f"stages={len(result.stages)}"
+        f"executor={result.executor} stages={len(result.stages)}"
     )
     print(f"{'artifact':<26} {'status':<8} {'seconds':>9}")
     for event in manifest["artifacts"]:
         status = event["status"] if event["persistent"] else "view"
         print(f"{event['name']:<26} {status:<8} {event['seconds']:>9.3f}")
-    print(f"{'stage':<26} {'seconds':>9}")
+    print(f"{'stage':<26} {'seconds':>9} {'cpu':>9}")
     for stage in manifest["stages"]:
-        print(f"{stage['name']:<26} {stage['seconds']:>9.3f}")
+        print(
+            f"{stage['name']:<26} {stage['seconds']:>9.3f} "
+            f"{stage['cpu_seconds']:>9.3f}"
+        )
     cache = manifest["cache"]
     print(
         f"artifacts: {cache['hits']} cached, {cache['builds']} built, "
@@ -516,6 +531,15 @@ def _command_pipeline(args: argparse.Namespace) -> int:
     )
     if result.out_dir is not None:
         print(f"wrote {result.out_dir}/manifest.json and per-stage reports")
+    failures = result.failures()
+    if failures:
+        for name, error in sorted(failures.items()):
+            print(f"stage failed: {name}: {error}", file=sys.stderr)
+        print(
+            f"{len(failures)} stage(s) failed; surviving results were written",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

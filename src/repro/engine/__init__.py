@@ -8,10 +8,12 @@ Metric and algorithm modules declare a portable implementation with
 :mod:`repro.engine.deps` for how optional dependencies (scipy) are gated.
 """
 
-from . import deps
+from . import deps, parallel
 from .registry import (
+    DEFAULT_PARALLEL_THRESHOLD,
     FROZEN,
     MUTABLE,
+    PARALLEL,
     EngineConfig,
     EngineError,
     Kernel,
@@ -33,8 +35,10 @@ from .registry import (
 )
 
 __all__ = [
+    "DEFAULT_PARALLEL_THRESHOLD",
     "FROZEN",
     "MUTABLE",
+    "PARALLEL",
     "EngineConfig",
     "EngineError",
     "Kernel",
@@ -51,6 +55,7 @@ __all__ = [
     "kernel",
     "kernels_for",
     "list_ops",
+    "parallel",
     "register",
     "resolve",
     "select",

@@ -29,13 +29,19 @@ _TRUTHY = {"1", "true", "yes", "on"}
 _modules: Dict[str, Optional[Any]] = {}
 
 
-def scipy_disabled() -> bool:
-    """Whether ``REPRO_NO_SCIPY`` asks for the numpy-only fallback paths.
+def env_flag(name: str) -> bool:
+    """Whether environment variable ``name`` holds a truthy value.
 
     Read from the environment on every call (it is one dict lookup) so tests
-    can flip the flag with ``monkeypatch.setenv`` without reimporting.
+    can flip a flag with ``monkeypatch.setenv`` without reimporting.  Shared
+    by every engine escape hatch (``REPRO_NO_SCIPY``, ``REPRO_NO_PARALLEL``).
     """
-    return os.environ.get(DISABLE_ENV_VAR, "").strip().lower() in _TRUTHY
+    return os.environ.get(name, "").strip().lower() in _TRUTHY
+
+
+def scipy_disabled() -> bool:
+    """Whether ``REPRO_NO_SCIPY`` asks for the numpy-only fallback paths."""
+    return env_flag(DISABLE_ENV_VAR)
 
 
 def _import(name: str) -> Optional[Any]:

@@ -1,0 +1,420 @@
+"""Shared-memory process-pool infrastructure for the ``parallel`` kernel tier.
+
+The frozen CSR kernels are fast but single-core.  This module provides the
+plumbing that lets a kernel fan node-range chunks out to a process pool
+*without* pickling the graph:
+
+* :class:`SharedCSR` packs a bundle of named numpy arrays (an ``indptr`` /
+  ``indices`` pair, a register matrix, ...) into **one**
+  :class:`multiprocessing.shared_memory.SharedMemory` segment.  The picklable
+  :class:`SharedCSRSpec` carries only the segment name and per-array layout;
+  workers reconstruct zero-copy numpy views with :func:`attach_views`.
+* :func:`shared_arrays` memoizes one exported bundle per (frozen graph, key)
+  in a weak-keyed cache, so a graph's CSR arrays cross the process boundary
+  exactly once no matter how many parallel kernels run on it.  Segments are
+  unlinked when the graph is garbage-collected, at :func:`shutdown`, and at
+  interpreter exit.
+* :func:`executor` lazily creates a fork-context
+  :class:`~concurrent.futures.ProcessPoolExecutor` (spawn where fork is
+  unavailable) and recreates it when the requested worker count or the owning
+  pid changes — so a forked child never reuses its parent's pool.  Workers
+  run with ``REPRO_NO_PARALLEL=1`` so a parallel kernel can never recursively
+  spawn pools.
+
+Escape hatches follow the ``REPRO_NO_SCIPY`` pattern in
+:mod:`repro.engine.deps`: ``REPRO_NO_PARALLEL=1`` disables the tier entirely
+(the registry probe turns every parallel kernel unavailable, so dispatch
+falls through to the frozen kernels), and ``REPRO_MAX_WORKERS=N`` bounds the
+pool size.  The tier also self-disables on effectively single-core machines
+(``max_workers() < 2``): chunk scheduling overhead cannot pay for itself
+there.
+
+Every parallel kernel built on this module is **bit-identical** to its frozen
+counterpart — chunk boundaries are chosen so per-chunk results combine
+exactly (integer sums, per-row arrays, fixed per-chunk RNG streams), never
+approximately.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import weakref
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from multiprocessing import get_context, resource_tracker, shared_memory
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from . import deps
+
+#: Environment variable that disables the parallel tier even on multi-core.
+DISABLE_ENV_VAR = "REPRO_NO_PARALLEL"
+
+#: Environment variable bounding the pool size (default: ``os.cpu_count()``).
+MAX_WORKERS_ENV_VAR = "REPRO_MAX_WORKERS"
+
+#: Prefix of every segment this module creates, so tests can scan ``/dev/shm``
+#: for leaks without false positives from other libraries.
+SEGMENT_PREFIX = "repro-shm-"
+
+
+def parallel_disabled() -> bool:
+    """Whether ``REPRO_NO_PARALLEL`` asks for the single-process fallback."""
+    return deps.env_flag(DISABLE_ENV_VAR)
+
+
+def max_workers() -> int:
+    """Worker count the pool would use: ``REPRO_MAX_WORKERS`` or cpu count."""
+    value = os.environ.get(MAX_WORKERS_ENV_VAR, "").strip()
+    if value:
+        try:
+            return max(1, int(value))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+def parallel_available() -> bool:
+    """Probe for the registry's ``"parallel"`` kernel requirement.
+
+    Evaluated at dispatch time: the tier is selectable only when it is not
+    disabled via the environment and at least two workers are available —
+    on one core the chunked kernels cannot beat their frozen counterparts.
+    """
+    return not parallel_disabled() and max_workers() >= 2
+
+
+# ----------------------------------------------------------------------
+# Shared-memory array bundles
+# ----------------------------------------------------------------------
+#: Alignment of each array within a segment (cache-line friendly).
+_ALIGN = 64
+
+_segment_counter = itertools.count()
+
+
+def _segment_name() -> str:
+    return f"{SEGMENT_PREFIX}{os.getpid()}-{next(_segment_counter)}"
+
+
+@dataclass(frozen=True)
+class SharedCSRSpec:
+    """Picklable handle of a :class:`SharedCSR`: segment name + array layout.
+
+    ``fields`` maps array name -> ``(byte offset, shape, dtype string)``.
+    This is all a worker needs to rebuild zero-copy views; the array data
+    itself never crosses the pickle boundary.
+    """
+
+    name: str
+    fields: Tuple[Tuple[str, Tuple[int, Tuple[int, ...], str]], ...]
+
+
+#: Segment name -> live SharedCSR, for shutdown()/atexit cleanup.
+_LIVE_SEGMENTS: Dict[str, "SharedCSR"] = {}
+
+
+class SharedCSR:
+    """Named numpy arrays packed into one owned shared-memory segment.
+
+    The creating process owns the segment: :meth:`unlink` (idempotent)
+    removes it from the system.  Workers attach by spec via
+    :func:`attach_views` and never own anything.
+    """
+
+    def __init__(self, arrays: Mapping[str, np.ndarray]) -> None:
+        layout: List[Tuple[str, Tuple[int, Tuple[int, ...], str]]] = []
+        contiguous: Dict[str, np.ndarray] = {}
+        offset = 0
+        for name, array in arrays.items():
+            array = np.ascontiguousarray(array)
+            contiguous[name] = array
+            layout.append((name, (offset, tuple(array.shape), array.dtype.str)))
+            offset += array.nbytes
+            offset += (-offset) % _ALIGN
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=max(offset, 1), name=_segment_name()
+        )
+        for name, (start, shape, dtype) in layout:
+            view = np.ndarray(
+                shape, dtype=np.dtype(dtype), buffer=self._shm.buf, offset=start
+            )
+            view[...] = contiguous[name]
+        self.spec = SharedCSRSpec(name=self._shm.name, fields=tuple(layout))
+        self._unlinked = False
+        _LIVE_SEGMENTS[self._shm.name] = self
+
+    def view(self, field: str) -> np.ndarray:
+        """Zero-copy view of one packed array (owner-side).
+
+        Views keep the mapping alive; drop them before expecting the memory
+        to be released.
+        """
+        for name, (start, shape, dtype) in self.spec.fields:
+            if name == field:
+                return np.ndarray(
+                    shape, dtype=np.dtype(dtype), buffer=self._shm.buf, offset=start
+                )
+        raise KeyError(field)
+
+    def unlink(self) -> None:
+        """Remove the segment from the system (idempotent).
+
+        The mapping itself is released when the last live view is collected;
+        the ``/dev/shm`` entry disappears immediately either way.
+        """
+        if self._unlinked:
+            return
+        self._unlinked = True
+        _LIVE_SEGMENTS.pop(self._shm.name, None)
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+        try:
+            self._shm.close()
+        except BufferError:
+            pass  # live views still reference the buffer; unmapped at their GC
+
+
+def live_segment_names() -> List[str]:
+    """Names of every segment this process currently owns (test hook)."""
+    return sorted(_LIVE_SEGMENTS)
+
+
+# ----------------------------------------------------------------------
+# Per-graph export cache (owner side)
+# ----------------------------------------------------------------------
+#: frozen graph -> {key: SharedCSR}.  Weakly keyed: exported bundles die with
+#: their graph (via the finalizer registered below), never the reverse.
+_graph_segments: "weakref.WeakKeyDictionary[Any, Dict[str, SharedCSR]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _unlink_bundle(bundle: Dict[str, SharedCSR]) -> None:
+    for shared in bundle.values():
+        shared.unlink()
+
+
+def shared_arrays(
+    graph: Any, key: str, factory: Callable[[], Mapping[str, np.ndarray]]
+) -> SharedCSRSpec:
+    """Memoized shared-memory export of ``factory()``'s arrays for ``graph``.
+
+    The first call per (graph, key) packs the arrays into a segment; later
+    calls return the existing spec without touching the arrays.  The segment
+    is unlinked when the graph is garbage-collected (or at
+    :func:`shutdown`).  Graphs that cannot be weak-referenced still work but
+    are only cleaned up at shutdown/exit.
+    """
+    try:
+        bundle = _graph_segments.get(graph)
+    except TypeError:
+        bundle = None
+    if bundle is None:
+        bundle = {}
+        try:
+            _graph_segments[graph] = bundle
+            weakref.finalize(graph, _unlink_bundle, bundle)
+        except TypeError:
+            pass
+    shared = bundle.get(key)
+    if shared is None:
+        shared = SharedCSR(factory())
+        bundle[key] = shared
+    return shared.spec
+
+
+def shared_undirected_csr(graph: Any) -> SharedCSRSpec:
+    """Shared export of a frozen graph's undirected CSR (memoized)."""
+    return shared_arrays(
+        graph,
+        "undirected_csr",
+        lambda: dict(zip(("indptr", "indices"), graph.undirected_csr())),
+    )
+
+
+def shared_out_csr(graph: Any) -> SharedCSRSpec:
+    """Shared export of a frozen graph's out-adjacency CSR (memoized)."""
+    return shared_arrays(
+        graph,
+        "out_csr",
+        lambda: dict(zip(("indptr", "indices"), graph.out_csr())),
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker-side attach machinery
+# ----------------------------------------------------------------------
+#: Segment name -> attached SharedMemory (worker-side, keeps mappings alive).
+_attached: Dict[str, shared_memory.SharedMemory] = {}
+
+#: (segment name, key) -> derived object (worker-side; e.g. a scipy matrix
+#: wrapped around the shared arrays, rebuilt once per worker, not per chunk).
+_attached_derived: Dict[Tuple[str, str], Any] = {}
+
+
+#: True in pool workers whose resource tracker is *inherited* from the owner
+#: (fork start method).  There the owner's create-time registration already
+#: protects the segment and an extra unregister would strip it.
+_tracker_inherited = False
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    shm = _attached.get(name)
+    if shm is None:
+        shm = shared_memory.SharedMemory(name=name)
+        # Python <= 3.12 registers every attach with the resource tracker,
+        # and a *spawn* worker gets its own tracker — which would unlink the
+        # owner's segment when the worker exits.  The owner manages the
+        # lifecycle; opt the attach out.  Skip in the owner itself and in
+        # fork workers (shared tracker: the registration set is deduplicated,
+        # and unregistering would both drop the owner's leak protection and
+        # make its later ``unlink()`` double-unregister).
+        if name not in _LIVE_SEGMENTS and not _tracker_inherited:
+            try:
+                resource_tracker.unregister(shm._name, "shared_memory")  # type: ignore[attr-defined]
+            except Exception:
+                pass
+        _attached[name] = shm
+    return shm
+
+
+def attach_views(spec: SharedCSRSpec) -> Dict[str, np.ndarray]:
+    """Zero-copy numpy views of a :class:`SharedCSRSpec`'s arrays.
+
+    Works in any process: workers attach (and cache) the segment by name;
+    in the owning process the views are equivalent to :meth:`SharedCSR.view`.
+    """
+    shm = _attach(spec.name)
+    return {
+        name: np.ndarray(
+            shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=offset
+        )
+        for name, (offset, shape, dtype) in spec.fields
+    }
+
+
+def attached_derived(spec: SharedCSRSpec, key: str, factory: Callable[[], Any]) -> Any:
+    """Worker-side memo of an object derived from a shared bundle.
+
+    Keyed by segment name, so the cache is naturally invalidated when a new
+    graph exports a new segment.  Bounded: cleared wholesale if it grows past
+    a few dozen graphs (worker processes are long-lived).
+    """
+    token = (spec.name, key)
+    value = _attached_derived.get(token)
+    if value is None:
+        if len(_attached_derived) > 64:
+            _attached_derived.clear()
+        value = factory()
+        _attached_derived[token] = value
+    return value
+
+
+# ----------------------------------------------------------------------
+# The pool
+# ----------------------------------------------------------------------
+_pool: Optional[ProcessPoolExecutor] = None
+_pool_workers = 0
+_pool_pid = 0
+
+
+def _worker_init(start_method: str) -> None:
+    global _tracker_inherited
+    # A worker must never spawn its own pool: disable the tier inside it so
+    # any dispatch it performs lands on the frozen kernels.
+    os.environ[DISABLE_ENV_VAR] = "1"
+    _tracker_inherited = start_method == "fork"
+    # A fork child inherits the owner's bookkeeping by copy; it owns none of
+    # those segments and must never unlink them.
+    _LIVE_SEGMENTS.clear()
+    _graph_segments.clear()
+
+
+def executor() -> ProcessPoolExecutor:
+    """The lazily created worker pool (fork context, spawn as fallback).
+
+    Recreated when ``REPRO_MAX_WORKERS`` changes or after a fork (a child
+    process must not submit to the pool file descriptors it inherited).
+    """
+    global _pool, _pool_workers, _pool_pid
+    workers = max_workers()
+    if _pool is not None and (_pool_workers != workers or _pool_pid != os.getpid()):
+        if _pool_pid == os.getpid():
+            _pool.shutdown(wait=True, cancel_futures=True)
+        _pool = None
+    if _pool is None:
+        try:
+            context = get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            context = get_context("spawn")
+        _pool = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=context,
+            initializer=_worker_init,
+            initargs=(context.get_start_method(),),
+        )
+        _pool_workers = workers
+        _pool_pid = os.getpid()
+    return _pool
+
+
+def chunk_ranges(total: int, parts: int) -> List[Tuple[int, int]]:
+    """Split ``range(total)`` into at most ``parts`` contiguous ``[lo, hi)`` spans.
+
+    Deterministic and near-equal; empty spans are dropped, so the result may
+    be shorter than ``parts`` (and empty when ``total == 0``).
+    """
+    parts = max(1, min(parts, total))
+    bounds = np.linspace(0, total, parts + 1).astype(np.int64)
+    return [
+        (int(bounds[i]), int(bounds[i + 1]))
+        for i in range(parts)
+        if bounds[i + 1] > bounds[i]
+    ]
+
+
+def run_chunks(fn: Callable[..., Any], chunk_args: Sequence[Tuple]) -> List[Any]:
+    """Run ``fn(*args)`` on the pool for every args tuple, in order.
+
+    Results are returned in submission order (chunk order), which is what
+    lets callers ``np.concatenate`` per-chunk arrays back into the exact
+    layout the frozen kernel would have produced.  The first failure cancels
+    the remaining chunks and propagates.
+    """
+    if not chunk_args:
+        return []
+    pool = executor()
+    futures = [pool.submit(fn, *args) for args in chunk_args]
+    try:
+        return [future.result() for future in futures]
+    except BaseException:
+        for future in futures:
+            future.cancel()
+        raise
+
+
+def shutdown() -> None:
+    """Terminate the pool and unlink every shared segment this process owns.
+
+    Safe to call repeatedly; the pool and segments are recreated on demand.
+    Registered with :mod:`atexit`, so a normal interpreter exit never leaks
+    ``/dev/shm`` entries.
+    """
+    global _pool
+    if _pool is not None and _pool_pid == os.getpid():
+        _pool.shutdown(wait=True, cancel_futures=True)
+    _pool = None
+    for shared in list(_LIVE_SEGMENTS.values()):
+        shared.unlink()
+    # Exported specs now dangle; drop the per-graph memo so the next kernel
+    # call re-exports instead of handing workers a dead segment name.
+    _graph_segments.clear()
+
+
+atexit.register(shutdown)

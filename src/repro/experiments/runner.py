@@ -8,8 +8,17 @@ declare (freeze-once, content-addressed disk cache), and executes the stages
 each other.  Each stage's returned payload is rendered to the same aligned
 text tables the figure benches write (via
 :func:`~repro.experiments.report.render_payload`), and the whole run is
-summarised in a JSON manifest: per-stage timings, per-artifact cache status
-(built vs cached), and the scenario token that keyed the cache.
+summarised in a JSON manifest: per-stage timings (wall-clock *and* CPU), the
+executor used, per-artifact cache status (built vs cached), and the scenario
+token that keyed the cache.
+
+With ``jobs > 1`` and a disk cache, stages run on a *process* pool: each
+worker process rehydrates the artifacts its stage needs from the
+content-addressed store (stage payloads are picklable; artifacts never cross
+the process boundary from the parent heap), so ``repro pipeline --jobs N``
+uses N cores instead of overlapping GIL-bound threads.  Per-stage failures
+are collected — never silently dropped — and reported together with their
+stage names after every surviving result has been written.
 
 Output layout (``out_dir``)::
 
@@ -22,11 +31,13 @@ from __future__ import annotations
 
 import json
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
+from multiprocessing import get_context
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from ..engine import parallel as engine_parallel
 from .artifacts import ArtifactResolver, artifact_topological_order
 from .registry import ExperimentStage, experiment_stages, get_experiment
 from .report import render_payload
@@ -61,9 +72,30 @@ def canonical_json(payload: Any) -> str:
     return json.dumps(canonical_payload(payload), sort_keys=True, separators=(",", ":"))
 
 
+class PipelineStageError(RuntimeError):
+    """One or more pipeline stages failed (raised after outputs are written).
+
+    ``failures`` maps each failed stage's name to its error string; the
+    surviving stages' results were already written to the manifest/report
+    before this was raised.
+    """
+
+    def __init__(self, failures: Dict[str, str]) -> None:
+        self.failures = dict(failures)
+        names = ", ".join(sorted(self.failures))
+        super().__init__(f"{len(self.failures)} pipeline stage(s) failed: {names}")
+
+
 @dataclass
 class StageResult:
-    """One executed pipeline stage: payload, rendering, timing."""
+    """One executed pipeline stage: payload, rendering, timing, outcome.
+
+    ``seconds`` is wall-clock; ``cpu_seconds`` is the executing thread's CPU
+    time (``time.thread_time``), which stays honest under thread-pool GIL
+    contention and measures real per-core work under the process executor.
+    A failed stage carries ``error`` (exception type and message) with
+    ``payload=None`` and an empty rendering.
+    """
 
     name: str
     title: str
@@ -71,6 +103,8 @@ class StageResult:
     payload: Any
     rendered: str
     seconds: float
+    cpu_seconds: float = 0.0
+    error: Optional[str] = None
 
 
 @dataclass
@@ -83,7 +117,16 @@ class PipelineResult:
     jobs: int
     artifact_seconds: float
     total_seconds: float
+    executor: str = "thread"
     out_dir: Optional[Path] = None
+
+    def failures(self) -> Dict[str, str]:
+        """Failed stage name -> error string (empty when every stage passed)."""
+        return {
+            stage.name: stage.error
+            for stage in self.stages.values()
+            if stage.error is not None
+        }
 
     def manifest(self) -> Dict[str, Any]:
         """JSON-serializable summary of the run (written as manifest.json)."""
@@ -91,6 +134,7 @@ class PipelineResult:
         return {
             "scenario": {"name": self.scenario.name, **self.scenario.cache_token()},
             "jobs": self.jobs,
+            "executor": self.executor,
             "artifact_seconds": round(self.artifact_seconds, 6),
             "total_seconds": round(self.total_seconds, 6),
             "artifacts": [
@@ -118,14 +162,16 @@ class PipelineResult:
                     "title": stage.title,
                     "needs": list(stage.needs),
                     "seconds": round(stage.seconds, 6),
+                    "cpu_seconds": round(stage.cpu_seconds, 6),
+                    "error": stage.error,
                 }
                 for stage in self.stages.values()
             ],
         }
 
     def rendered_report(self) -> str:
-        """Every stage's rendered tables, concatenated in run order."""
-        parts = [stage.rendered for stage in self.stages.values()]
+        """Every surviving stage's rendered tables, concatenated in run order."""
+        parts = [stage.rendered for stage in self.stages.values() if stage.rendered]
         return "\n\n".join(parts) + "\n"
 
     def recomputed_persistent_artifacts(self) -> List[str]:
@@ -166,6 +212,89 @@ def pipeline_artifact_plan(stages: Sequence[ExperimentStage]) -> List[str]:
     return artifact_topological_order(needed)
 
 
+def _execute_stage(
+    stage: ExperimentStage, resolver: ArtifactResolver, scenario: Scenario
+) -> StageResult:
+    """Run one stage against a resolver, capturing timing and any failure."""
+    stage_started = time.perf_counter()
+    cpu_started = time.thread_time()
+    payload: Any = None
+    rendered = ""
+    error: Optional[str] = None
+    try:
+        inputs = [resolver.artifact(name) for name in stage.needs]
+        options = scenario.stage_options(stage.name)
+        payload = stage.fn(*inputs, **options)
+        rendered = render_payload(payload, title=f"{stage.name} — {stage.title}")
+    except Exception as exc:
+        error = f"{type(exc).__name__}: {exc}"
+    return StageResult(
+        name=stage.name,
+        title=stage.title,
+        needs=stage.needs,
+        payload=payload,
+        rendered=rendered,
+        seconds=time.perf_counter() - stage_started,
+        cpu_seconds=time.thread_time() - cpu_started,
+        error=error,
+    )
+
+
+#: Per-worker resolver cache, keyed by (scenario cache token, cache dir) so a
+#: long-lived worker process reuses its rehydrated artifacts across the
+#: stages it executes instead of re-reading the store per stage.
+_worker_resolvers: Dict[Tuple[str, str], ArtifactResolver] = {}
+
+
+def _stage_worker(stage_name: str, scenario: Scenario, cache_dir: Optional[str]) -> StageResult:
+    """Process-pool entry point: execute one stage by name in this worker.
+
+    The stage is looked up in the worker's own registry (stage functions are
+    not pickled) and its artifacts are rehydrated from the content-addressed
+    disk store — nothing graph-sized crosses the process boundary; only the
+    stage's payload comes back.
+    """
+    stage = experiment_stages()[stage_name]
+    key = (json.dumps(scenario.cache_token(), sort_keys=True), str(cache_dir))
+    resolver = _worker_resolvers.get(key)
+    if resolver is None:
+        _worker_resolvers.clear()  # a worker serves one pipeline run at a time
+        resolver = ArtifactResolver(scenario, cache_dir=cache_dir)
+        _worker_resolvers[key] = resolver
+    return _execute_stage(stage, resolver, scenario)
+
+
+def _stage_worker_init() -> None:
+    # Stage workers own a full core each; the kernel-level parallel tier must
+    # not fork pools of its own inside them (and a forked child must not
+    # treat the parent's shared-memory bookkeeping as its own).
+    engine_parallel._worker_init("fork")
+
+
+def _resolve_executor(
+    executor: str,
+    jobs: int,
+    stage_count: int,
+    cache_dir: Optional[Union[str, Path]],
+    injected_resolver: bool,
+) -> str:
+    """The stage-execution mode a run will actually use.
+
+    ``"auto"`` picks processes when they can pay off: more than one job and
+    stage, a disk cache for workers to rehydrate from, and no injected
+    in-memory resolver (whose artifacts exist only in the parent heap).
+    """
+    if executor not in ("auto", "thread", "process"):
+        raise ValueError(
+            f"executor must be 'auto', 'thread' or 'process', got {executor!r}"
+        )
+    if jobs <= 1 or stage_count <= 1:
+        return "thread"
+    if executor == "auto":
+        return "process" if cache_dir is not None and not injected_resolver else "thread"
+    return executor
+
+
 def run_pipeline(
     scenario: Union[str, Scenario],
     figures: Optional[Sequence[str]] = None,
@@ -173,6 +302,8 @@ def run_pipeline(
     cache_dir: Optional[Union[str, Path]] = None,
     out_dir: Optional[Union[str, Path]] = None,
     resolver: Optional[ArtifactResolver] = None,
+    executor: str = "auto",
+    strict: bool = True,
 ) -> PipelineResult:
     """Run the declarative experiment pipeline for one scenario.
 
@@ -184,8 +315,8 @@ def run_pipeline(
     figures:
         Stage names to run (default: the full suite).
     jobs:
-        Worker threads for stage execution.  Stages are mutually independent
-        once artifacts are materialised, so any subset may run concurrently;
+        Concurrent stage executions.  Stages are mutually independent once
+        artifacts are materialised, so any subset may run concurrently;
         artifact resolution itself is sequential (dependencies chain).
     cache_dir:
         Root of the content-addressed artifact store.  ``None`` shares
@@ -195,11 +326,24 @@ def run_pipeline(
         renderings.  ``None`` skips writing.
     resolver:
         Pre-populated resolver to reuse (tests; overrides ``cache_dir``).
+    executor:
+        ``"process"`` runs stages on a process pool (true multi-core;
+        workers rehydrate artifacts from the disk store), ``"thread"`` on
+        the legacy thread pool.  ``"auto"`` picks processes whenever
+        ``jobs > 1`` and a disk cache is available.
+    strict:
+        When ``True`` (default), stage failures raise
+        :class:`PipelineStageError` — *after* all outputs (including the
+        surviving stages' results) are written.  ``False`` returns the
+        :class:`PipelineResult` with per-stage ``error`` fields instead.
     """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
     stages = select_stages(figures)
     plan = pipeline_artifact_plan(stages)
+    mode = _resolve_executor(
+        executor, jobs, len(stages), cache_dir, injected_resolver=resolver is not None
+    )
     if resolver is None:
         resolver = ArtifactResolver(scenario, cache_dir=cache_dir)
     started = time.perf_counter()
@@ -208,27 +352,17 @@ def run_pipeline(
         resolver.artifact(name)
     artifact_seconds = time.perf_counter() - started
 
-    def execute(stage: ExperimentStage) -> StageResult:
-        inputs = [resolver.artifact(name) for name in stage.needs]
-        options = scenario.stage_options(stage.name)
-        stage_started = time.perf_counter()
-        payload = stage.fn(*inputs, **options)
-        seconds = time.perf_counter() - stage_started
-        rendered = render_payload(payload, title=f"{stage.name} — {stage.title}")
-        return StageResult(
-            name=stage.name,
-            title=stage.title,
-            needs=stage.needs,
-            payload=payload,
-            rendered=rendered,
-            seconds=seconds,
-        )
-
-    if jobs > 1 and len(stages) > 1:
+    if mode == "process":
+        results = _run_stages_processes(stages, scenario, cache_dir, jobs)
+    elif jobs > 1 and len(stages) > 1:
         with ThreadPoolExecutor(max_workers=jobs) as pool:
-            results = list(pool.map(execute, stages))
+            results = list(
+                pool.map(
+                    lambda stage: _execute_stage(stage, resolver, scenario), stages
+                )
+            )
     else:
-        results = [execute(stage) for stage in stages]
+        results = [_execute_stage(stage, resolver, scenario) for stage in stages]
 
     result = PipelineResult(
         scenario=scenario,
@@ -237,10 +371,58 @@ def run_pipeline(
         jobs=jobs,
         artifact_seconds=artifact_seconds,
         total_seconds=time.perf_counter() - started,
+        executor=mode,
     )
     if out_dir is not None:
         result.out_dir = write_outputs(result, out_dir)
+    failures = result.failures()
+    if failures and strict:
+        raise PipelineStageError(failures)
     return result
+
+
+def _run_stages_processes(
+    stages: Sequence[ExperimentStage],
+    scenario: Scenario,
+    cache_dir: Optional[Union[str, Path]],
+    jobs: int,
+) -> List[StageResult]:
+    """Execute stages on a process pool, one future per stage, order preserved.
+
+    A worker-side stage failure comes back inside its ``StageResult``; an
+    infrastructure failure (a worker killed, a payload that cannot pickle)
+    is converted into a failed ``StageResult`` for that stage so sibling
+    stages still report.
+    """
+    cache = str(cache_dir) if cache_dir is not None else None
+    try:
+        context = get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        context = get_context("spawn")
+    results: List[StageResult] = []
+    with ProcessPoolExecutor(
+        max_workers=jobs, mp_context=context, initializer=_stage_worker_init
+    ) as pool:
+        futures = [
+            pool.submit(_stage_worker, stage.name, scenario, cache) for stage in stages
+        ]
+        for stage, future in zip(stages, futures):
+            try:
+                results.append(future.result())
+            except Exception as exc:
+                results.append(
+                    StageResult(
+                        name=stage.name,
+                        title=stage.title,
+                        needs=stage.needs,
+                        payload=None,
+                        rendered="",
+                        seconds=0.0,
+                        cpu_seconds=0.0,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                )
+    return results
 
 
 def write_outputs(result: PipelineResult, out_dir: Union[str, Path]) -> Path:

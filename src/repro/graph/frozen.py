@@ -187,6 +187,9 @@ class FrozenDiGraph:
         "_und_indptr",
         "_und_indices",
         "_edge_src",
+        # Weak-referenceable so the engine's parallel tier can key its
+        # shared-memory segment cache on the graph and unlink on its GC.
+        "__weakref__",
     )
 
     def __init__(
@@ -521,6 +524,7 @@ class FrozenBipartiteAttributeGraph:
         "_num_links",
         "_type_names",
         "_type_codes",
+        "__weakref__",
     )
 
     def __init__(
@@ -844,7 +848,7 @@ class FrozenSAN:
     True
     """
 
-    __slots__ = ("social", "attributes", "_derived")
+    __slots__ = ("social", "attributes", "_derived", "__weakref__")
 
     def __init__(
         self, social: FrozenDiGraph, attributes: FrozenBipartiteAttributeGraph

@@ -1,0 +1,418 @@
+"""Parallel kernel tier: shared-memory lifecycle, dispatch gating,
+frozen/parallel bit-identity, and the process-based pipeline executor.
+
+Everything here forces the tier on with ``REPRO_MAX_WORKERS=2`` so the
+tests are meaningful on single-core CI runners too (the pool is merely
+oversubscribed); correctness never depends on the core count.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro import engine
+from repro.algorithms.clustering import (
+    average_attribute_clustering_coefficient,
+    average_social_clustering_coefficient,
+    clustering_by_degree,
+)
+from repro.algorithms.hyperanf import neighbourhood_function
+from repro.algorithms.random_walk import random_walks
+from repro.algorithms.triangles import count_directed_triangles
+from repro.applications.link_prediction import rank_candidate_pairs
+from repro.engine import deps, parallel
+from repro.engine.registry import FROZEN, PARALLEL, kernels_for, list_ops, resolve
+from repro.experiments.runner import (
+    PipelineStageError,
+    canonical_json,
+    run_pipeline,
+)
+
+
+def _shm_leftovers():
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):  # pragma: no cover - non-Linux
+        return []
+    return [
+        name
+        for name in os.listdir(shm_dir)
+        if name.startswith(parallel.SEGMENT_PREFIX)
+    ]
+
+
+@pytest.fixture
+def two_workers(monkeypatch):
+    """Force the tier available (two workers) and guarantee cleanup:
+    after every test no segment may stay registered or on /dev/shm.
+
+    Clears an ambient ``REPRO_NO_PARALLEL`` (the CI leg that pins the
+    single-core kernels still runs this file; here the tier itself is under
+    test) — monkeypatch restores it afterwards."""
+    monkeypatch.delenv(parallel.DISABLE_ENV_VAR, raising=False)
+    monkeypatch.setenv(parallel.MAX_WORKERS_ENV_VAR, "2")
+    yield
+    engine.configure()
+    parallel.shutdown()
+    assert parallel.live_segment_names() == []
+    assert _shm_leftovers() == []
+
+
+# ----------------------------------------------------------------------
+# Shared-memory lifecycle
+# ----------------------------------------------------------------------
+
+
+def _echo_field(spec, field):
+    """Worker-side: copy one attached view back to the parent."""
+    return parallel.attach_views(spec)[field].copy()
+
+
+def _boom(lo, hi):
+    raise ValueError(f"boom {lo}:{hi}")
+
+
+class TestSharedMemoryLifecycle:
+    def test_shared_csr_roundtrip_and_unlink(self):
+        arrays = {
+            "indptr": np.arange(11, dtype=np.int64),
+            "weights": np.linspace(0.0, 1.0, 7),
+        }
+        shared = parallel.SharedCSR(arrays)
+        try:
+            assert shared.spec.name in parallel.live_segment_names()
+            views = parallel.attach_views(shared.spec)
+            for field, array in arrays.items():
+                assert views[field].dtype == array.dtype
+                assert np.array_equal(views[field], array)
+            del views
+        finally:
+            shared.unlink()
+        assert shared.spec.name not in parallel.live_segment_names()
+        assert _shm_leftovers() == []
+
+    def test_unlink_is_idempotent(self):
+        shared = parallel.SharedCSR({"a": np.zeros(3)})
+        shared.unlink()
+        shared.unlink()  # second call is a no-op, not an error
+        assert _shm_leftovers() == []
+
+    def test_shutdown_unlinks_every_live_segment(self):
+        parallel.SharedCSR({"a": np.ones(5)})
+        parallel.SharedCSR({"b": np.ones(6)})
+        assert len(parallel.live_segment_names()) >= 2
+        parallel.shutdown()
+        assert parallel.live_segment_names() == []
+        assert _shm_leftovers() == []
+
+    def test_segment_released_when_graph_is_collected(self, tiny_final_san):
+        frozen = tiny_final_san.freeze()
+        spec = parallel.shared_undirected_csr(frozen.social)
+        assert spec.name in parallel.live_segment_names()
+        # Exporting again for the same graph reuses the segment.
+        assert parallel.shared_undirected_csr(frozen.social).name == spec.name
+        del frozen
+        gc.collect()
+        assert spec.name not in parallel.live_segment_names()
+        assert _shm_leftovers() == []
+
+    def test_worker_sees_bit_identical_views(self, two_workers, tiny_final_san):
+        frozen = tiny_final_san.freeze()
+        indptr, indices = frozen.social.undirected_csr()
+        spec = parallel.shared_undirected_csr(frozen.social)
+        echoed_indptr, echoed_indices = parallel.run_chunks(
+            _echo_field, [(spec, "indptr"), (spec, "indices")]
+        )
+        assert echoed_indptr.dtype == indptr.dtype
+        assert echoed_indices.dtype == indices.dtype
+        assert np.array_equal(echoed_indptr, indptr)
+        assert np.array_equal(echoed_indices, indices)
+
+    def test_worker_exception_leaves_no_segments(self, two_workers, tiny_final_san):
+        frozen = tiny_final_san.freeze()
+        parallel.shared_undirected_csr(frozen.social)
+        with pytest.raises(ValueError, match="boom"):
+            parallel.run_chunks(_boom, [(0, 1), (1, 2)])
+        # two_workers teardown asserts shutdown() leaves nothing behind.
+
+
+# ----------------------------------------------------------------------
+# Dispatch gating
+# ----------------------------------------------------------------------
+
+#: Parallel kernels that only need the pool (no scipy).
+POOL_ONLY_OPS = ("count_directed_triangles", "neighbourhood_function", "random_walks")
+
+
+def _parallel_ops():
+    return [
+        op
+        for op in list_ops()
+        if any(entry.backend == PARALLEL for entry in kernels_for(op))
+    ]
+
+
+class TestDispatchGating:
+    def test_expected_ops_register_parallel_kernels(self):
+        ops = set(_parallel_ops())
+        assert {
+            "count_directed_triangles",
+            "average_social_clustering_coefficient",
+            "average_attribute_clustering_coefficient",
+            "clustering_by_degree",
+            "neighbourhood_function",
+            "random_walks",
+            "link_prediction.rank_candidate_pairs",
+        } <= ops
+
+    def test_disable_env_forces_frozen_on_every_parallel_op(
+        self, two_workers, monkeypatch, tiny_final_san
+    ):
+        frozen = tiny_final_san.freeze()
+        engine.configure(parallel_threshold=0)
+        monkeypatch.setenv(parallel.DISABLE_ENV_VAR, "1")
+        for op in _parallel_ops():
+            # Never the parallel tier; the scipy-gated ops may fall past
+            # frozen to mutable when scipy is also disabled.
+            assert resolve(op, frozen).backend != PARALLEL, op
+        for op in POOL_ONLY_OPS:
+            assert resolve(op, frozen).backend == FROZEN, op
+        monkeypatch.delenv(parallel.DISABLE_ENV_VAR)
+        for op in POOL_ONLY_OPS:
+            assert resolve(op, frozen).backend == PARALLEL, op
+        if deps.have_scipy():
+            assert (
+                resolve("link_prediction.rank_candidate_pairs", frozen).backend
+                == PARALLEL
+            )
+
+    def test_size_threshold_gates_the_tier(self, two_workers, tiny_final_san):
+        frozen = tiny_final_san.freeze()
+        engine.configure(parallel_threshold=10**9)
+        assert resolve("count_directed_triangles", frozen).backend == FROZEN
+        engine.configure(parallel_threshold=0)
+        assert resolve("count_directed_triangles", frozen).backend == PARALLEL
+        engine.configure(parallel_threshold=None)
+        assert resolve("count_directed_triangles", frozen).backend == FROZEN
+
+    def test_single_worker_keeps_tier_unavailable(self, monkeypatch):
+        monkeypatch.delenv(parallel.DISABLE_ENV_VAR, raising=False)
+        monkeypatch.setenv(parallel.MAX_WORKERS_ENV_VAR, "1")
+        assert not parallel.parallel_available()
+        monkeypatch.setenv(parallel.MAX_WORKERS_ENV_VAR, "2")
+        assert parallel.parallel_available()
+        monkeypatch.setenv(parallel.DISABLE_ENV_VAR, "1")
+        assert not parallel.parallel_available()
+
+
+# ----------------------------------------------------------------------
+# Bit-identity: every parallel kernel equals its frozen counterpart
+# ----------------------------------------------------------------------
+
+
+class TestBitIdentity:
+    def _both_tiers(self, monkeypatch, fn, san):
+        """Run ``fn`` on the frozen tier and on the parallel tier.
+
+        Separate frozen views per tier: the clustering kernels memoize
+        their arrays on the FrozenSAN, so sharing one view would let the
+        first tier's memo answer for the second.
+        """
+        monkeypatch.setenv(parallel.DISABLE_ENV_VAR, "1")
+        expected = fn(san.freeze())
+        monkeypatch.delenv(parallel.DISABLE_ENV_VAR)
+        engine.configure(parallel_threshold=0)
+        actual = fn(san.freeze())
+        engine.configure()
+        return expected, actual
+
+    def test_triangles(self, two_workers, monkeypatch, tiny_final_san):
+        expected, actual = self._both_tiers(
+            monkeypatch, count_directed_triangles, tiny_final_san
+        )
+        assert actual == expected
+
+    def test_clustering(self, two_workers, monkeypatch, tiny_final_san):
+        for fn in (
+            average_social_clustering_coefficient,
+            average_attribute_clustering_coefficient,
+            lambda g: clustering_by_degree(g, kind="social"),
+            lambda g: clustering_by_degree(g, kind="attribute"),
+        ):
+            expected, actual = self._both_tiers(monkeypatch, fn, tiny_final_san)
+            assert actual == expected
+
+    def test_hyperanf(self, two_workers, monkeypatch, tiny_final_san):
+        expected, actual = self._both_tiers(
+            monkeypatch,
+            lambda g: neighbourhood_function(g.social, precision=6),
+            tiny_final_san,
+        )
+        assert actual == expected  # exact: same registers, same merges
+
+    def test_random_walks(self, two_workers, monkeypatch, tiny_final_san):
+        starts = list(tiny_final_san.social_nodes())[:80]
+        for cap in (None, 5):
+            expected, actual = self._both_tiers(
+                monkeypatch,
+                lambda g: random_walks(
+                    g.social, starts, length=12, degree_cap=cap, rng=20120835
+                ),
+                tiny_final_san,
+            )
+            assert actual == expected
+
+    def test_rank_candidate_pairs(self, two_workers, monkeypatch, tiny_final_san):
+        if not deps.have_scipy():
+            pytest.skip("parallel ranking kernel requires scipy")
+        for metric in ("common_neighbors", "adamic_adar"):
+            expected, actual = self._both_tiers(
+                monkeypatch,
+                lambda g: rank_candidate_pairs(g, top_k=150, metric=metric),
+                tiny_final_san,
+            )
+            assert actual == expected  # exact floats included
+
+
+# ----------------------------------------------------------------------
+# Process-based pipeline stage executor
+# ----------------------------------------------------------------------
+
+#: Small stage subset whose artifact closure stays cheap on "tiny".
+EXECUTOR_FIGURES = ("fig02_03", "sec22", "fig05")
+
+
+@pytest.fixture(scope="module")
+def executor_cache(tmp_path_factory):
+    return tmp_path_factory.mktemp("executor-cache")
+
+
+@pytest.fixture(scope="module")
+def thread_run(executor_cache):
+    return run_pipeline(
+        "tiny", figures=EXECUTOR_FIGURES, cache_dir=executor_cache, executor="thread"
+    )
+
+
+class TestProcessExecutor:
+    def test_process_payloads_match_thread(self, thread_run, executor_cache):
+        result = run_pipeline(
+            "tiny",
+            figures=EXECUTOR_FIGURES,
+            cache_dir=executor_cache,
+            jobs=2,
+            executor="process",
+        )
+        assert result.executor == "process"
+        assert thread_run.executor == "thread"
+        for name in EXECUTOR_FIGURES:
+            assert canonical_json(result.stages[name].payload) == canonical_json(
+                thread_run.stages[name].payload
+            )
+        # Warm process run rebuilt nothing: workers rehydrated from disk.
+        assert result.recomputed_persistent_artifacts() == []
+
+    def test_auto_prefers_processes_with_cache_and_jobs(self, thread_run, executor_cache):
+        result = run_pipeline(
+            "tiny", figures=EXECUTOR_FIGURES, cache_dir=executor_cache, jobs=2
+        )
+        assert result.executor == "process"
+        memory_only = run_pipeline("tiny", figures=EXECUTOR_FIGURES, jobs=2)
+        assert memory_only.executor == "thread"
+
+    def test_invalid_executor_rejected(self):
+        with pytest.raises(ValueError, match="executor"):
+            run_pipeline("tiny", figures=EXECUTOR_FIGURES, executor="gpu")
+
+    def test_cpu_seconds_recorded_in_manifest(self, tmp_path, thread_run, executor_cache):
+        out = tmp_path / "out"
+        result = run_pipeline(
+            "tiny",
+            figures=EXECUTOR_FIGURES,
+            cache_dir=executor_cache,
+            jobs=2,
+            executor="process",
+            out_dir=out,
+        )
+        manifest = json.loads((out / "manifest.json").read_text(encoding="utf-8"))
+        assert manifest["executor"] == "process"
+        for stage in manifest["stages"]:
+            assert stage["error"] is None
+            assert stage["cpu_seconds"] >= 0.0
+        assert result.failures() == {}
+
+
+class TestFailureCollection:
+    @pytest.fixture
+    def boom_stage(self, monkeypatch):
+        """Replace one stage's function with a deterministic failure.
+
+        The runner (and its process workers) look stages up through
+        ``repro.experiments.runner.experiment_stages``; patch that symbol —
+        patching the registry module would not reach the direct import.
+        """
+        from dataclasses import replace
+
+        from repro.experiments.runner import experiment_stages as real_stages
+
+        def boom(*args, **kwargs):
+            raise ValueError("intentional boom")
+
+        def patched():
+            stages = dict(real_stages())
+            stages["fig02_03"] = replace(stages["fig02_03"], fn=boom)
+            return stages
+
+        monkeypatch.setattr("repro.experiments.runner.experiment_stages", patched)
+        return patched
+
+    def test_strict_raises_after_writing_outputs(self, tmp_path, boom_stage, executor_cache):
+        out = tmp_path / "out"
+        with pytest.raises(PipelineStageError) as excinfo:
+            run_pipeline(
+                "tiny",
+                figures=EXECUTOR_FIGURES,
+                cache_dir=executor_cache,
+                out_dir=out,
+            )
+        assert set(excinfo.value.failures) == {"fig02_03"}
+        assert "intentional boom" in excinfo.value.failures["fig02_03"]
+        # Outputs were written before the raise; survivors are intact.
+        manifest = json.loads((out / "manifest.json").read_text(encoding="utf-8"))
+        by_name = {stage["name"]: stage for stage in manifest["stages"]}
+        assert by_name["fig02_03"]["error"] == "ValueError: intentional boom"
+        for name in ("sec22", "fig05"):
+            assert by_name[name]["error"] is None
+            assert (out / f"{name}.txt").read_text(encoding="utf-8").strip()
+
+    def test_non_strict_returns_failures(self, boom_stage, executor_cache):
+        result = run_pipeline(
+            "tiny",
+            figures=EXECUTOR_FIGURES,
+            cache_dir=executor_cache,
+            strict=False,
+        )
+        assert result.failures() == {"fig02_03": "ValueError: intentional boom"}
+        assert result.stages["fig02_03"].payload is None
+        assert result.stages["fig02_03"].rendered == ""
+        for name in ("sec22", "fig05"):
+            assert result.stages[name].error is None
+            assert result.stages[name].payload is not None
+
+    def test_process_executor_collects_failures(self, boom_stage, executor_cache):
+        result = run_pipeline(
+            "tiny",
+            figures=EXECUTOR_FIGURES,
+            cache_dir=executor_cache,
+            jobs=2,
+            executor="process",
+            strict=False,
+        )
+        assert result.executor == "process"
+        assert result.failures() == {"fig02_03": "ValueError: intentional boom"}
+        for name in ("sec22", "fig05"):
+            assert result.stages[name].error is None
