@@ -1,6 +1,6 @@
 """Command-line interface for the SAN reproduction library.
 
-Eight subcommands cover the common workflows without writing any Python:
+Nine subcommands cover the common workflows without writing any Python:
 
 * ``simulate``  — run the synthetic Google+ evolution and save the final SAN
   (or a chosen day's snapshot) as a TSV pair.
@@ -25,6 +25,10 @@ Eight subcommands cover the common workflows without writing any Python:
   pipeline's stage payloads and fail loudly, naming each violated
   assertion.  Reuses the pipeline's artifact cache, so a warm rerun
   rebuilds nothing.
+* ``lint``      — the invariant regression gate: run the AST-based rule
+  catalog (seeded RNG, scipy containment, registry dispatch,
+  content-derived caches, shared-memory hygiene, registry coherence) over
+  the library source and fail on any unsuppressed finding.
 
 Examples
 --------
@@ -42,6 +46,8 @@ Examples
     repro pipeline --scenario tiny --figures fig04,fig15
     repro validate --scenario churn --cache-dir ~/.cache/repro --out validation/
     repro validate --all --cache-dir ~/.cache/repro
+    repro lint
+    repro lint --rules R001,R004 --format json --out lint-findings.json
 """
 
 from __future__ import annotations
@@ -302,6 +308,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="list the scenarios with checked-in answer keys, then exit",
     )
 
+    from .lint.cli import add_parser as add_lint_parser
+
+    add_lint_parser(subparsers)
+
     return parser
 
 
@@ -543,6 +553,12 @@ def _command_pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    from .lint.cli import run as lint_run
+
+    return lint_run(args)
+
+
 def _command_validate(args: argparse.Namespace) -> int:
     from .experiments import (
         AnswerKeyError,
@@ -615,6 +631,7 @@ _COMMANDS = {
     "likelihood": _command_likelihood,
     "pipeline": _command_pipeline,
     "validate": _command_validate,
+    "lint": _command_lint,
 }
 
 

@@ -14,6 +14,7 @@ from .registry import (
     FROZEN,
     MUTABLE,
     PARALLEL,
+    DuplicateKernelError,
     EngineConfig,
     EngineError,
     Kernel,
@@ -39,6 +40,7 @@ __all__ = [
     "FROZEN",
     "MUTABLE",
     "PARALLEL",
+    "DuplicateKernelError",
     "EngineConfig",
     "EngineError",
     "Kernel",

@@ -99,6 +99,18 @@ class NoKernelError(EngineError, LookupError):
     """The operation exists but no kernel is available for the input backend."""
 
 
+class DuplicateKernelError(EngineError, ValueError):
+    """Two kernels were registered for one (operation, backend) at equal priority.
+
+    Equal priority makes shadowing an accident of registration (import)
+    order: the earlier registration would silently win at dispatch time.
+    Raised at import time so the collision is named where it happens; pick a
+    distinct priority for the new kernel instead.  Re-registering the *same*
+    function (same module and qualname, e.g. after a module reload) replaces
+    the old entry rather than raising.
+    """
+
+
 @dataclass(frozen=True)
 class Kernel:
     """One registered implementation of an operation on one backend."""
@@ -158,6 +170,25 @@ def config() -> EngineConfig:
     return _config
 
 
+def _same_function(a: Callable[..., Any], b: Callable[..., Any]) -> bool:
+    """Whether two callables are the same definition (reload-tolerant)."""
+    if a is b:
+        return True
+    module_a = getattr(a, "__module__", None)
+    qualname_a = getattr(a, "__qualname__", None)
+    if module_a is None or qualname_a is None:
+        return False
+    return module_a == getattr(b, "__module__", None) and qualname_a == getattr(
+        b, "__qualname__", None
+    )
+
+
+def _describe(fn: Callable[..., Any]) -> str:
+    module = getattr(fn, "__module__", "?")
+    qualname = getattr(fn, "__qualname__", repr(fn))
+    return f"{module}.{qualname}"
+
+
 def register(
     op: str,
     fn: Callable[..., Any],
@@ -165,7 +196,14 @@ def register(
     requires: Union[str, Tuple[str, ...]] = (),
     priority: int = 0,
 ) -> Kernel:
-    """Register ``fn`` as a kernel (functional form of :func:`kernel`)."""
+    """Register ``fn`` as a kernel (functional form of :func:`kernel`).
+
+    Raises :class:`DuplicateKernelError` when a *different* function is
+    already registered for ``(op, backend)`` at the same priority — silent
+    equal-priority shadowing is an accident of import order.  Registering
+    the same function again (by module and qualname) replaces the existing
+    entry, so module reloads stay idempotent.
+    """
     if isinstance(requires, str):
         requires = (requires,)
     for name in requires:
@@ -177,6 +215,17 @@ def register(
     # time so dispatch never re-sorts on the hot path.
     position = len(entries)
     for index, existing in enumerate(entries):
+        if existing.priority == entry.priority:
+            if _same_function(existing.fn, fn):
+                entries[index] = entry  # idempotent re-registration
+                return entry
+            raise DuplicateKernelError(
+                f"duplicate kernel registration for operation {op!r} on "
+                f"backend {backend!r} at priority {priority}: "
+                f"{_describe(existing.fn)} is already registered and "
+                f"{_describe(fn)} would shadow it silently; pick a distinct "
+                "priority"
+            )
         if existing.priority < entry.priority:
             position = index
             break

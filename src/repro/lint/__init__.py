@@ -1,0 +1,59 @@
+"""``repro.lint`` — the invariant linter (``repro lint``).
+
+An AST-based rule engine that turns the repository's load-bearing
+conventions into a machine-checked gate: seeded-by-default RNG (R001),
+scipy contained behind :mod:`repro.engine.deps` (R002), backend dispatch
+through the kernel registry instead of ``isinstance(Frozen*)`` (R003),
+content-derived cache keys (R004), shared-memory segments that always get
+unlinked (R005), and a coherent kernel registry (R006).
+
+See ``docs/architecture.md`` ("Invariant catalog") for the rule-by-rule
+story and how to add a rule; :mod:`repro.lint.core` for the framework;
+:mod:`repro.lint.rules` for the catalog.
+"""
+
+from .core import (
+    FRAMEWORK_RULE,
+    Finding,
+    LintError,
+    LintResult,
+    ModuleContext,
+    ProjectRule,
+    Rule,
+    Suppression,
+    UnknownRuleError,
+    all_rules,
+    iter_python_files,
+    load_baseline,
+    parse_suppressions,
+    register_rule,
+    relativize,
+    run_lint,
+    select_rules,
+)
+from .reporters import render_json, render_text
+from .rules import check_registry, load_full_registry
+
+__all__ = [
+    "FRAMEWORK_RULE",
+    "Finding",
+    "LintError",
+    "LintResult",
+    "ModuleContext",
+    "ProjectRule",
+    "Rule",
+    "Suppression",
+    "UnknownRuleError",
+    "all_rules",
+    "check_registry",
+    "iter_python_files",
+    "load_baseline",
+    "load_full_registry",
+    "parse_suppressions",
+    "register_rule",
+    "relativize",
+    "render_json",
+    "render_text",
+    "run_lint",
+    "select_rules",
+]

@@ -1,0 +1,572 @@
+"""The invariant catalog: concrete rules R001-R006.
+
+Each rule encodes one load-bearing convention of this repository (the PR
+that introduced it is named in ``docs/architecture.md``'s invariant
+catalog).  Rules are deliberately narrow: they resolve imported names to
+canonical dotted paths (``np.random.seed`` -> ``numpy.random.seed``) instead
+of pattern-matching source text, so docstrings, comments, and local
+variables that merely *mention* a pattern never fire.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .core import Finding, ModuleContext, ProjectRule, Rule, register_rule
+
+# -- R001: no unseeded RNG -------------------------------------------------
+
+#: RNG factories that are fine *when seeded*: flagged only when called with
+#: no arguments (or an explicit ``None``), which opts into system entropy.
+_SEEDED_FACTORIES = {
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "random.Random",
+}
+
+#: ``numpy.random`` attributes that are not the legacy global-state API.
+_NUMPY_RANDOM_ALLOWED = {
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.SeedSequence",
+    "numpy.random.BitGenerator",
+    "numpy.random.RandomState",
+    "numpy.random.PCG64",
+    "numpy.random.Philox",
+    "numpy.random.MT19937",
+    "numpy.random.SFC64",
+}
+
+#: Module-level functions of :mod:`random` that draw from the hidden global
+#: generator.
+_GLOBAL_RANDOM_FNS = {
+    f"random.{name}"
+    for name in (
+        "betavariate", "choice", "choices", "expovariate", "gammavariate",
+        "gauss", "getrandbits", "lognormvariate", "normalvariate",
+        "paretovariate", "randbytes", "randint", "random", "randrange",
+        "sample", "seed", "shuffle", "triangular", "uniform",
+        "vonmisesvariate", "weibullvariate",
+    )
+}
+
+
+def _is_unseeded_call(node: ast.Call) -> bool:
+    """No positional seed and no keyword seed (``None`` counts as unseeded)."""
+    for arg in node.args:
+        if not (isinstance(arg, ast.Constant) and arg.value is None):
+            return False
+    for keyword in node.keywords:
+        if keyword.arg is None:  # **kwargs: assume the caller seeds
+            return False
+        if not (
+            isinstance(keyword.value, ast.Constant) and keyword.value.value is None
+        ):
+            return False
+    return True
+
+
+@register_rule
+class NoUnseededRng(Rule):
+    """Every RNG must be constructed from an explicit seed (PR 3-5).
+
+    The repository's determinism story — same seed, bit-identical artifacts,
+    content-addressed caches — dies the moment a code path draws from system
+    entropy or the hidden module-level generators.
+    """
+
+    rule_id = "R001"
+    name = "no-unseeded-rng"
+    description = (
+        "RNGs must be explicitly seeded: no np.random.default_rng()/"
+        "random.Random() without a seed, no legacy np.random.* or "
+        "module-level random.* global-state calls"
+    )
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = module.resolve_dotted(node.func)
+            if dotted is None:
+                continue
+            if dotted in _SEEDED_FACTORIES:
+                if _is_unseeded_call(node):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{dotted}() without an explicit seed draws from "
+                        "system entropy; pass a seed (library defaults "
+                        "should name one, e.g. DEFAULT_FIGURE_SEED)",
+                    )
+            elif (
+                dotted.startswith("numpy.random.")
+                and dotted not in _NUMPY_RANDOM_ALLOWED
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"legacy global-state RNG call {dotted}(); use a seeded "
+                    "numpy.random.default_rng(seed) generator instead",
+                )
+            elif dotted in _GLOBAL_RANDOM_FNS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"module-level {dotted}() draws from the hidden global "
+                    "generator; thread a seeded random.Random through "
+                    "repro.utils.rng.ensure_rng instead",
+                )
+
+
+# -- R002: scipy containment ----------------------------------------------
+
+#: The one module allowed to import scipy (the lazy/guarded boundary).
+_SCIPY_BOUNDARY = "engine/deps.py"
+
+#: Names whose presence in an enclosing ``if`` test marks a scipy import as
+#: guarded by the deps probe.
+_SCIPY_PROBES = {"have_scipy", "scipy_sparse", "scipy_csgraph"}
+
+
+def _guarded_by_probe(module: ModuleContext, node: ast.AST) -> bool:
+    """Inside a function *and* under an ``if`` consulting the deps probe."""
+    in_function = False
+    probed = False
+    for ancestor in module.ancestors(node):
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            in_function = True
+        elif isinstance(ancestor, ast.If):
+            for name in ast.walk(ancestor.test):
+                if isinstance(name, ast.Name) and name.id in _SCIPY_PROBES:
+                    probed = True
+                elif isinstance(name, ast.Attribute) and name.attr in _SCIPY_PROBES:
+                    probed = True
+    return in_function and probed
+
+
+@register_rule
+class ScipyContainment(Rule):
+    """scipy stays behind :mod:`repro.engine.deps` (PR 2).
+
+    Importing :mod:`repro` must never import scipy eagerly, and
+    ``REPRO_NO_SCIPY`` must be able to force the numpy fallbacks at dispatch
+    time — both only hold while every scipy access goes through the deps
+    probe (``scipy_sparse()``/``scipy_csgraph()``).
+    """
+
+    rule_id = "R002"
+    name = "scipy-containment"
+    description = (
+        "scipy may only be imported in engine/deps.py; elsewhere use the "
+        "lazy accessors (deps.scipy_sparse()/scipy_csgraph()) or guard a "
+        "function-local import behind the deps probe"
+    )
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        if module.package_relpath == _SCIPY_BOUNDARY:
+            return
+        for node in ast.walk(module.tree):
+            target: Optional[str] = None
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "scipy" or alias.name.startswith("scipy."):
+                        target = alias.name
+                        break
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module and (
+                    node.module == "scipy" or node.module.startswith("scipy.")
+                ):
+                    target = node.module
+            elif isinstance(node, ast.Call):
+                dotted = module.resolve_dotted(node.func)
+                if dotted in ("importlib.import_module", "__import__") and node.args:
+                    head = node.args[0]
+                    if (
+                        isinstance(head, ast.Constant)
+                        and isinstance(head.value, str)
+                        and head.value.split(".")[0] == "scipy"
+                    ):
+                        target = head.value
+            if target is None:
+                continue
+            if _guarded_by_probe(module, node):
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"direct import of {target!r} outside engine/deps.py; go "
+                "through repro.engine.deps (scipy_sparse()/scipy_csgraph()) "
+                "or guard a lazy import behind deps.have_scipy()",
+            )
+
+
+# -- R003: no backend isinstance dispatch ---------------------------------
+
+#: Layers allowed to inspect concrete backend classes.
+_BACKEND_LAYERS = ("engine/", "graph/")
+
+
+@register_rule
+class NoBackendIsinstance(Rule):
+    """Backend dispatch goes through the kernel registry (PR 2).
+
+    ``isinstance(x, Frozen*)`` branches outside the engine and graph layers
+    reintroduce the scattered PR-1 idiom the registry replaced; they bypass
+    priority shadowing, requirement gating, and the parallel tier.
+    """
+
+    rule_id = "R003"
+    name = "no-backend-isinstance"
+    description = (
+        "no isinstance/issubclass dispatch on Frozen* backend classes "
+        "outside engine/ and graph/; register a kernel instead"
+    )
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        if module.package_relpath.startswith(_BACKEND_LAYERS):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not (
+                isinstance(node.func, ast.Name)
+                and node.func.id in ("isinstance", "issubclass")
+            ):
+                continue
+            if len(node.args) < 2:
+                continue
+            classinfo = node.args[1]
+            candidates = (
+                classinfo.elts if isinstance(classinfo, ast.Tuple) else [classinfo]
+            )
+            for candidate in candidates:
+                name = None
+                if isinstance(candidate, ast.Name):
+                    name = candidate.id
+                elif isinstance(candidate, ast.Attribute):
+                    name = candidate.attr
+                if name is not None and name.startswith("Frozen"):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{node.func.id}(..., {name}) dispatches on a "
+                        "backend class outside engine//graph/; add a kernel "
+                        "via repro.engine (dispatchable/kernel) instead",
+                    )
+                    break
+
+
+# -- R004: no wall clock in cached paths ----------------------------------
+
+#: Canonical dotted paths of wall-clock reads.
+_WALLCLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: Decorators that mark a function as a kernel body, artifact builder, or
+#: registered experiment stage.
+_CACHED_PATH_DECORATORS = {
+    "kernel",
+    "dispatchable",
+    "artifact",
+    "register_artifact",
+    "experiment",
+}
+
+#: Modules where *every* function participates in content-addressed caching
+#: (the artifact store + builders).  Wall-clock telemetry there needs an
+#: explicit, justified suppression.
+_CACHED_PATH_MODULES = {"experiments/artifacts.py"}
+
+
+def _decorator_name(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _in_cached_path(module: ModuleContext, node: ast.AST) -> Optional[str]:
+    """Why ``node`` is inside a content-derived code path (or ``None``)."""
+    if module.package_relpath in _CACHED_PATH_MODULES:
+        return f"module {module.package_relpath}"
+    for function in module.enclosing_functions(node):
+        for decorator in function.decorator_list:
+            name = _decorator_name(decorator)
+            if name in _CACHED_PATH_DECORATORS:
+                return f"@{name} function {function.name!r}"
+        lowered = function.name.lower()
+        if "cache_token" in lowered or "cache_key" in lowered:
+            return f"cache-token function {function.name!r}"
+    return None
+
+
+@register_rule
+class NoWallclockInCachedPaths(Rule):
+    """Cache keys and kernel outputs are content-derived (PR 5).
+
+    A wall-clock read inside a kernel body, an artifact builder, or
+    cache-token code makes artifacts non-reproducible and silently defeats
+    the content-addressed store (cold/warm byte-identity, ``builds == 0``
+    warm gates).
+    """
+
+    rule_id = "R004"
+    name = "no-wallclock-in-cached-paths"
+    description = (
+        "no time.time/perf_counter/datetime.now inside @kernel/@dispatchable/"
+        "@artifact/@experiment bodies, cache-token code, or "
+        "experiments/artifacts.py; cache keys must be content-derived"
+    )
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = module.resolve_dotted(node.func)
+            if dotted not in _WALLCLOCK:
+                continue
+            scope = _in_cached_path(module, node)
+            if scope is None:
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"wall-clock read {dotted}() in {scope}: cached paths must "
+                "be content-derived (derive identity from inputs, or move "
+                "timing out of the builder)",
+            )
+
+
+# -- R005: shared-memory lifecycle ----------------------------------------
+
+@register_rule
+class ShmLifecycle(Rule):
+    """Every created shared-memory segment must be unlinked (PR 7).
+
+    A ``SharedMemory(create=True)`` site without a ``weakref.finalize``/
+    ``atexit`` unlink in the same module leaks ``/dev/shm`` segments under
+    load — exactly the failure mode the parallel tier's ``_LIVE_SEGMENTS``
+    bookkeeping exists to prevent.
+    """
+
+    rule_id = "R005"
+    name = "shm-lifecycle"
+    description = (
+        "a module calling SharedMemory(create=True) must pair it with an "
+        "unlink via weakref.finalize/atexit.register in the same module"
+    )
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        create_sites: List[ast.Call] = []
+        has_finalizer = False
+        has_unlink = False
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                dotted = module.resolve_dotted(node.func)
+                name = dotted.rsplit(".", 1)[-1] if dotted else None
+                if name is None and isinstance(node.func, ast.Attribute):
+                    name = node.func.attr
+                if name == "SharedMemory" and any(
+                    keyword.arg == "create"
+                    and isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is True
+                    for keyword in node.keywords
+                ):
+                    create_sites.append(node)
+                if dotted in ("weakref.finalize", "atexit.register"):
+                    has_finalizer = True
+            if isinstance(node, ast.Attribute) and node.attr == "unlink":
+                has_unlink = True
+        if not create_sites:
+            return
+        missing = []
+        if not has_finalizer:
+            missing.append("a weakref.finalize/atexit.register hook")
+        if not has_unlink:
+            missing.append("an unlink() call")
+        if not missing:
+            return
+        for site in create_sites:
+            yield self.finding(
+                module,
+                site,
+                "SharedMemory(create=True) without "
+                + " or ".join(missing)
+                + " in this module; segments must always be unlinked "
+                "(see repro.engine.parallel)",
+            )
+
+
+# -- R006: registry coherence ---------------------------------------------
+
+#: Backends with special meaning to the coherence checks.
+_MUTABLE, _FROZEN, _PARALLEL = "mutable", "frozen", "parallel"
+
+
+def _kernel_location(fn: Any) -> Tuple[str, int]:
+    """(file, line) of a registered kernel function, best effort."""
+    try:
+        target = inspect.unwrap(fn)
+        path = inspect.getsourcefile(target)
+        line = inspect.getsourcelines(target)[1]
+        if path:
+            return path, line
+    except (TypeError, OSError):
+        pass
+    return "<registry>", 1
+
+
+def check_registry(registry: Mapping[str, Mapping[str, Sequence[Any]]]) -> List[Finding]:
+    """Pure coherence checks over a registry mapping (op -> backend -> kernels).
+
+    Kernels only need ``fn`` and ``priority`` attributes, so tests can feed
+    synthetic registries.  Three invariants:
+
+    * every operation with a ``frozen``/``parallel`` kernel also registers a
+      portable (``mutable``) body — the fallback :func:`repro.engine.registry.
+      resolve` relies on;
+    * a parallel kernel outranks the frozen tier it shadows (and has a frozen
+      counterpart to be bit-identical to);
+    * no two kernels share ``(operation, backend, priority)`` — equal
+      priority makes shadowing an accident of registration order.
+    """
+    findings: List[Finding] = []
+
+    def finding(fn: Any, message: str) -> Finding:
+        path, line = _kernel_location(fn)
+        return Finding(path=path, line=line, rule="R006", message=message)
+
+    for op in sorted(registry):
+        backends = registry[op]
+        frozen = list(backends.get(_FROZEN, ()))
+        parallel = list(backends.get(_PARALLEL, ()))
+        mutable = list(backends.get(_MUTABLE, ()))
+        if (frozen or parallel) and not mutable:
+            anchor = (frozen + parallel)[0]
+            findings.append(
+                finding(
+                    anchor.fn,
+                    f"operation {op!r} registers "
+                    f"{'frozen' if frozen else 'parallel'} kernels but no "
+                    "portable (mutable) body; frozen inputs would have no "
+                    "fallback",
+                )
+            )
+        if parallel:
+            if not frozen:
+                findings.append(
+                    finding(
+                        parallel[0].fn,
+                        f"operation {op!r} has a parallel kernel but no "
+                        "frozen counterpart to be bit-identical to",
+                    )
+                )
+            else:
+                best_parallel = max(entry.priority for entry in parallel)
+                best_frozen = max(entry.priority for entry in frozen)
+                if best_parallel <= best_frozen:
+                    findings.append(
+                        finding(
+                            parallel[0].fn,
+                            f"operation {op!r}: parallel tier priority "
+                            f"({best_parallel}) must exceed the frozen tier's "
+                            f"({best_frozen}) so threshold selection is "
+                            "meaningful",
+                        )
+                    )
+        for backend in sorted(backends):
+            seen: Dict[int, Any] = {}
+            for entry in backends[backend]:
+                clash = seen.get(entry.priority)
+                if clash is not None and clash is not entry.fn:
+                    findings.append(
+                        finding(
+                            entry.fn,
+                            f"duplicate registration for ({op!r}, "
+                            f"{backend!r}) at priority {entry.priority}; "
+                            "shadowing at equal priority is order-dependent "
+                            "(engine.register raises "
+                            "DuplicateKernelError for this)",
+                        )
+                    )
+                else:
+                    seen[entry.priority] = entry.fn
+    return findings
+
+
+def load_full_registry() -> Mapping[str, Mapping[str, Sequence[Any]]]:
+    """Import every ``repro`` submodule, then return the live registry.
+
+    Kernel registration happens at import time, so the coherence check must
+    pull in the whole package (metrics, algorithms, applications, models,
+    experiments) before reading ``repro.engine.registry._registry``.
+
+    Only kernels whose function lives in a ``repro`` module are audited:
+    R006 guards what the package ships, not registrations a host process
+    (a test suite, a downstream extension) may have added to the live
+    registry.
+    """
+    import importlib
+    import pkgutil
+
+    import repro
+
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name == "repro.__main__":
+            continue
+        importlib.import_module(info.name)
+    from repro.engine import registry as engine_registry
+
+    def _shipped(kernel: Any) -> bool:
+        module = getattr(getattr(kernel, "fn", None), "__module__", "") or ""
+        return module == "repro" or module.startswith("repro.")
+
+    filtered: Dict[str, Dict[str, List[Any]]] = {}
+    for operation, backends in engine_registry._registry.items():
+        kept = {
+            backend: [kernel for kernel in kernels if _shipped(kernel)]
+            for backend, kernels in backends.items()
+        }
+        kept = {backend: kernels for backend, kernels in kept.items() if kernels}
+        if kept:
+            filtered[operation] = kept
+    return filtered
+
+
+@register_rule
+class RegistryCoherence(ProjectRule):
+    """The kernel registry stays dispatchable (PR 2/7).
+
+    A static+import hybrid: loads the live registry (importing every
+    ``repro`` submodule so registration side effects run) and asserts the
+    portable-fallback, parallel-outranks-frozen, and no-duplicate
+    invariants.  Findings point at the registering function's definition.
+    """
+
+    rule_id = "R006"
+    name = "registry-coherence"
+    description = (
+        "every frozen/parallel kernel shadows a registered portable body, "
+        "parallel priority exceeds frozen priority, and no (operation, "
+        "backend, priority) is registered twice"
+    )
+
+    def check_project(self, modules: Sequence[ModuleContext]) -> Iterable[Finding]:
+        return check_registry(load_full_registry())

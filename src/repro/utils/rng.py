@@ -21,6 +21,9 @@ def ensure_rng(rng: RngLike = None) -> random.Random:
     fresh generator, and an existing generator is returned unchanged.
     """
     if rng is None:
+        # repro: lint-ignore[R001] -- the None branch is the documented,
+        # caller-explicit opt-in to system entropy; every library default
+        # passes a named seed (DEFAULT_FIGURE_SEED, DEFAULT_LIKELIHOOD_SEED)
         return random.Random()
     if isinstance(rng, random.Random):
         return rng

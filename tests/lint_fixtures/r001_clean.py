@@ -1,0 +1,21 @@
+"""R001 fixture: the corrected forms — explicit seeds, instance methods."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+DEFAULT_SEED = 20120835
+
+
+def seeded_generators():
+    gen = np.random.default_rng(DEFAULT_SEED)
+    child = default_rng([DEFAULT_SEED, 1])
+    classic = random.Random(7)
+    state = np.random.RandomState(seed=3)
+    return gen, child, classic, state
+
+
+def instance_methods_are_fine(rng):
+    rng.shuffle([1, 2])
+    return rng.random() + random.Random(5).random()

@@ -1,0 +1,27 @@
+"""R001 fixture: unseeded and global-state RNG calls.
+
+Every violating line carries a trailing ``expect`` marker the test
+suite parses, so the expected findings live next to the code that earns
+them.  This file is parsed by the linter, never imported.
+"""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def unseeded_generators():
+    gen = np.random.default_rng()  # expect[R001]
+    bare = default_rng(None)  # expect[R001]
+    legacy = random.Random()  # expect[R001]
+    state = np.random.RandomState()  # expect[R001]
+    return gen, bare, legacy, state
+
+
+def legacy_numpy_and_global_random():
+    np.random.seed(42)  # expect[R001]
+    draws = np.random.rand(10)  # expect[R001]
+    pick = random.choice([1, 2, 3])  # expect[R001]
+    random.shuffle(list(range(4)))  # expect[R001]
+    return draws, pick

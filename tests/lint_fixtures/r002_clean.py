@@ -1,0 +1,27 @@
+"""R002 fixture: the sanctioned accessors and a probe-guarded lazy import."""
+
+from repro.engine import deps
+from repro.engine.deps import have_scipy
+
+
+def through_the_accessor():
+    sparse = deps.scipy_sparse()
+    if sparse is None:
+        return None
+    return sparse.csr_matrix
+
+
+def guarded_lazy_import():
+    if have_scipy():
+        from scipy.sparse import csgraph
+
+        return csgraph
+    return None
+
+
+def guarded_via_module_attribute():
+    if deps.have_scipy():
+        import scipy.sparse as sp
+
+        return sp
+    return None

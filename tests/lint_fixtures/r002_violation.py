@@ -1,0 +1,19 @@
+"""R002 fixture: scipy escaping the deps boundary (parsed, never run)."""
+
+import importlib
+
+import scipy  # expect[R002]
+from scipy.sparse import csr_matrix  # expect[R002]
+
+
+def lazy_but_unguarded():
+    import scipy.sparse as sp  # expect[R002]
+    return sp
+
+
+def dynamic_import():
+    return importlib.import_module("scipy.sparse.csgraph")  # expect[R002]
+
+
+def uses_the_imports():
+    return scipy, csr_matrix

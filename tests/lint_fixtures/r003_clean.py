@@ -1,0 +1,16 @@
+"""R003 fixture: the corrected form — registry dispatch, no backend checks.
+
+(Parsed by the linter only; importing it would register throwaway kernels.)
+"""
+
+from repro.engine import dispatchable, kernel
+
+
+@dispatchable("fixture.degree_sum")
+def degree_sum(graph):
+    return sum(graph.degree(node) for node in graph.nodes())
+
+
+@kernel("fixture.degree_sum", backend="frozen")
+def degree_sum_frozen(graph):
+    return int(graph.social_out_degrees().sum())

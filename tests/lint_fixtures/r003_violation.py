@@ -1,0 +1,15 @@
+"""R003 fixture: backend isinstance dispatch outside engine/ and graph/."""
+
+from repro.graph.frozen import FrozenDiGraph, FrozenSAN
+
+
+def degree_listing(graph):
+    if isinstance(graph, FrozenSAN):  # expect[R003]
+        return graph.social_out_degrees()
+    if isinstance(graph, (FrozenDiGraph, dict)):  # expect[R003]
+        return None
+    return [graph.degree(node) for node in graph.nodes()]
+
+
+def class_check(cls):
+    return issubclass(cls, FrozenSAN)  # expect[R003]

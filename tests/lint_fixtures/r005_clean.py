@@ -1,0 +1,18 @@
+"""R005 fixture: corrected — finalize-driven unlink in the same module."""
+
+import weakref
+from multiprocessing import shared_memory
+
+
+def _unlink(segment):
+    segment.close()
+    segment.unlink()
+
+
+class OwnedBuffer:
+    def __init__(self, size):
+        self._shm = shared_memory.SharedMemory(create=True, size=size)
+        weakref.finalize(self, _unlink, self._shm)
+
+    def view(self):
+        return self._shm.buf

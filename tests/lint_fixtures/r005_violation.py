@@ -1,0 +1,11 @@
+"""R005 fixture: a created shared-memory segment with no unlink hook."""
+
+from multiprocessing import shared_memory
+
+
+class LeakyBuffer:
+    def __init__(self, size):
+        self._shm = shared_memory.SharedMemory(create=True, size=size)  # expect[R005]
+
+    def view(self):
+        return self._shm.buf

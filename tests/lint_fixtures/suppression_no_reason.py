@@ -1,0 +1,9 @@
+"""Suppression fixture: a reasonless lint-ignore is itself a finding.
+
+The directive below is inert (it suppresses nothing), so the linter reports
+both the underlying R001 *and* an R000 for the missing reason.
+"""
+
+import numpy as np
+
+rng = np.random.default_rng()  # repro: lint-ignore[R001]

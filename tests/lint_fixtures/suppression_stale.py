@@ -1,0 +1,9 @@
+"""Suppression fixture: the suppressed rule no longer fires -> stale.
+
+The seed was added during a cleanup but the directive stayed behind;
+``repro lint --report-stale`` flags it so dead suppressions cannot pile up.
+"""
+
+import numpy as np
+
+rng = np.random.default_rng(20120835)  # repro: lint-ignore[R001] -- fixture: seed was added but the directive stayed behind

@@ -74,6 +74,39 @@ class TestRegistryErrors:
             dispatch("test.frozen_only", small_san)
         assert dispatch("test.frozen_only", small_san.freeze()) == "frozen"
 
+    def test_duplicate_registration_raises_named_error(self, small_san):
+        def first(graph):
+            return "first"
+
+        def shadower(graph):
+            return "shadower"
+
+        engine.register("test.duplicate", first, backend=FROZEN, priority=5)
+        with pytest.raises(engine.DuplicateKernelError) as excinfo:
+            engine.register("test.duplicate", shadower, backend=FROZEN, priority=5)
+        message = str(excinfo.value)
+        assert "test.duplicate" in message and "priority 5" in message
+        assert "first" in message and "shadower" in message
+        # The registry is unchanged: the original kernel still dispatches.
+        assert dispatch("test.duplicate", small_san.freeze()) == "first"
+        # Distinct priority and distinct backend are both fine.
+        engine.register("test.duplicate", shadower, backend=FROZEN, priority=6)
+        engine.register("test.duplicate", shadower, backend=MUTABLE, priority=5)
+        assert dispatch("test.duplicate", small_san.freeze()) == "shadower"
+
+    def test_same_function_reregistration_replaces(self, small_san):
+        def body(graph):
+            return "one"
+
+        entry = engine.register("test.rereg", body, backend=FROZEN, priority=3)
+        assert entry.fn is body
+        # Same module + qualname (a reloaded module re-decorating the same
+        # definition) replaces the entry instead of raising.
+        replacement = engine.register("test.rereg", body, backend=FROZEN, priority=3)
+        assert replacement.fn is body
+        assert len([k for k in kernels_for("test.rereg") if k.backend == FROZEN]) == 1
+        assert dispatch("test.rereg", small_san.freeze()) == "one"
+
 
 class TestPriorityAndRequirements:
     def test_higher_priority_wins(self, small_san):
