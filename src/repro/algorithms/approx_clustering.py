@@ -14,7 +14,7 @@ the true average clustering coefficient with probability at least ``1 - 1/nu``
 from __future__ import annotations
 
 import math
-from typing import Hashable, Iterable, List, Optional, Sequence
+from typing import Hashable, Optional, Sequence
 
 from ..graph.protocol import SANView
 from ..utils.rng import RngLike, ensure_rng

@@ -36,7 +36,7 @@ True
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Optional, Tuple, Union
+from typing import Dict, Hashable, Iterable, List, Tuple, Union
 
 import numpy as np
 

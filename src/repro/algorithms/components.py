@@ -14,7 +14,7 @@ the portable iterative Tarjan as the fallback.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Hashable, Iterable, List, Set, Union
+from typing import Dict, Hashable, List, Set, Union
 
 import numpy as np
 

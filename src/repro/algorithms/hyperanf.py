@@ -136,7 +136,7 @@ def _hyperanf_chunk(
     views = par.attach_views(csr_spec)
     indptr, indices = views["indptr"], views["indices"]
     old = par.attach_views(cur_spec)["registers"]
-    new = par.attach_views(nxt_spec)["registers"]
+    new = par.attach_output_views(nxt_spec)["registers"]
     row_ptr = indptr[lo : hi + 1]
     merged = old[lo:hi].copy()
     segment = indices[row_ptr[0] : row_ptr[-1]]

@@ -8,7 +8,7 @@ procedure.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Iterator, List, Optional, Sequence, TypeVar, Union
+from typing import Hashable, Iterable, List, Sequence, TypeVar, Union
 
 from ..engine import dispatchable, kernel
 from ..graph.frozen import FrozenSAN

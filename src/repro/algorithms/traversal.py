@@ -16,7 +16,7 @@ and the sampled distance histogram accumulates with ``np.bincount``.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple, Union
+from typing import Dict, Hashable, Optional, Set, Union
 
 import numpy as np
 

@@ -16,7 +16,7 @@ mutable backend.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, List, Set, Tuple, Union
+from typing import Hashable, Iterable, Set, Tuple, Union
 
 import numpy as np
 

@@ -12,7 +12,7 @@ last hops, comparing the real Google+ topology against model-generated ones.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Sequence, Set, Union
+from typing import Hashable, List, Sequence, Set, Union
 
 import numpy as np
 

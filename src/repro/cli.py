@@ -27,8 +27,12 @@ Nine subcommands cover the common workflows without writing any Python:
   rebuilds nothing.
 * ``lint``      — the invariant regression gate: run the AST-based rule
   catalog (seeded RNG, scipy containment, registry dispatch,
-  content-derived caches, shared-memory hygiene, registry coherence) over
-  the library source and fail on any unsuppressed finding.
+  content-derived caches, shared-memory hygiene, registry coherence,
+  cache-token soundness, parallel-worker purity, seed-stream discipline)
+  over the library source and fail on any unsuppressed finding.  The
+  runtime counterpart is ``pipeline --sanitize`` (or ``REPRO_SANITIZE=1``
+  around any entry point), which checks backend parity, shared-view
+  hygiene, NaN/Inf outputs, and artifact integrity on the live run.
 
 Examples
 --------
@@ -54,6 +58,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -70,7 +75,7 @@ from .models import (
     generate_san_fast,
     san_generate,
 )
-from .synthetic import GooglePlusConfig, build_workload, standard_snapshot_days
+from .synthetic import GooglePlusConfig, build_workload
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -254,6 +259,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--out",
         default=None,
         help="write manifest.json, report.txt and per-stage renderings here",
+    )
+    pipeline.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="arm the runtime sanitizer (REPRO_SANITIZE=1) for this run: "
+        "dispatch-time backend-parity re-execution, read-only worker "
+        "views, NaN/Inf screening, and artifact integrity re-hashing; "
+        "roughly doubles kernel time and writes sanitizer_report.json "
+        "next to the manifest when --out is set",
     )
     pipeline.add_argument(
         "--list",
@@ -501,6 +515,12 @@ def _command_pipeline(args: argparse.Namespace) -> int:
             print(f"  {stage.name:<10} {stage.title}  [needs: {', '.join(stage.needs)}]")
         return 0
 
+    if args.sanitize:
+        from . import sanitize
+
+        os.environ[sanitize.ENV_VAR] = "1"
+        sanitize.reset_report()
+
     figures = None
     if args.figures:
         figures = [part.strip() for part in args.figures.split(",") if part.strip()]
@@ -541,6 +561,23 @@ def _command_pipeline(args: argparse.Namespace) -> int:
     )
     if result.out_dir is not None:
         print(f"wrote {result.out_dir}/manifest.json and per-stage reports")
+    if args.sanitize:
+        from pathlib import Path
+
+        from . import sanitize
+
+        report = sanitize.report()
+        parity = report["parity"]
+        print(
+            f"sanitizer: {parity['checked']} parity check(s), "
+            f"{sum(parity['skipped'].values())} skipped, "
+            f"{len(parity['divergences'])} divergence(s); "
+            f"{report['artifacts']['verified']} artifact(s) verified"
+        )
+        if result.out_dir is not None:
+            report_path = Path(result.out_dir) / "sanitizer_report.json"
+            sanitize.write_report(report_path)
+            print(f"wrote {report_path}")
     failures = result.failures()
     if failures:
         for name, error in sorted(failures.items()):

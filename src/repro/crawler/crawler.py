@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Hashable, Iterable, Optional, Sequence, Set
 
 from ..graph.san import SAN
 from .privacy import FULLY_PUBLIC, PrivacyModel

@@ -44,6 +44,23 @@ def scipy_disabled() -> bool:
     return env_flag(DISABLE_ENV_VAR)
 
 
+#: Environment variable that arms the runtime sanitizer
+#: (:mod:`repro.sanitize`): backend-parity re-execution at dispatch time,
+#: read-only worker views, NaN/Inf screening, artifact integrity re-hashing.
+#: Defined here (not in ``repro.sanitize``) so the engine and artifact layers
+#: can probe it without importing the sanitizer.
+SANITIZE_ENV_VAR = "REPRO_SANITIZE"
+
+
+def sanitize_enabled() -> bool:
+    """Whether ``REPRO_SANITIZE`` arms the runtime sanitizer.
+
+    Read per call, like every other escape hatch: the pipeline ``--sanitize``
+    flag and tests flip the variable mid-process.
+    """
+    return env_flag(SANITIZE_ENV_VAR)
+
+
 def _import(name: str) -> Optional[Any]:
     if name not in _modules:
         try:

@@ -284,19 +284,47 @@ def _attach(name: str) -> shared_memory.SharedMemory:
     return shm
 
 
-def attach_views(spec: SharedCSRSpec) -> Dict[str, np.ndarray]:
-    """Zero-copy numpy views of a :class:`SharedCSRSpec`'s arrays.
-
-    Works in any process: workers attach (and cache) the segment by name;
-    in the owning process the views are equivalent to :meth:`SharedCSR.view`.
-    """
+def _views(spec: SharedCSRSpec, writeable: bool) -> Dict[str, np.ndarray]:
     shm = _attach(spec.name)
-    return {
+    views = {
         name: np.ndarray(
             shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=offset
         )
         for name, (offset, shape, dtype) in spec.fields
     }
+    if not writeable:
+        for view in views.values():
+            view.flags.writeable = False
+    return views
+
+
+def attach_views(spec: SharedCSRSpec) -> Dict[str, np.ndarray]:
+    """Zero-copy numpy views of a :class:`SharedCSRSpec`'s arrays.
+
+    Works in any process: workers attach (and cache) the segment by name;
+    in the owning process the views are equivalent to :meth:`SharedCSR.view`.
+
+    Under ``REPRO_SANITIZE=1`` the views handed to a *non-owning* process
+    (a pool worker) are read-only: a worker that writes through an input
+    view raises ``ValueError: assignment destination is read-only`` instead
+    of silently corrupting shared state for every sibling chunk.  Workers
+    that legitimately fill a result buffer must ask for it explicitly via
+    :func:`attach_output_views`.
+    """
+    writeable = spec.name in _LIVE_SEGMENTS or not deps.sanitize_enabled()
+    return _views(spec, writeable)
+
+
+def attach_output_views(spec: SharedCSRSpec) -> Dict[str, np.ndarray]:
+    """Writeable views of a spec whose arrays a worker *intends* to fill.
+
+    The explicit opt-out of the sanitizer's read-only clamp: chunked kernels
+    that scatter per-chunk results into a shared output buffer (e.g. the
+    HyperANF register ping-pong) attach it through this function.  Chunk
+    ranges must be disjoint — the sanitizer cannot check that, only that no
+    worker writes through a view it attached as *input*.
+    """
+    return _views(spec, True)
 
 
 def attached_derived(spec: SharedCSRSpec, key: str, factory: Callable[[], Any]) -> Any:

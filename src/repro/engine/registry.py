@@ -58,7 +58,7 @@ from __future__ import annotations
 import functools
 import inspect
 import weakref
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from ..graph.frozen import FrozenBipartiteAttributeGraph, FrozenDiGraph, FrozenSAN
@@ -423,6 +423,22 @@ def frozen_view(graph: Any) -> Optional[Any]:
     return frozen
 
 
+def _run(entry: Kernel, graph: Any, args: Tuple[Any, ...], kwargs: Dict[str, Any]) -> Any:
+    """Invoke a resolved kernel, detouring through the sanitizer when armed.
+
+    ``REPRO_SANITIZE=1`` routes the call through
+    :func:`repro.sanitize.checked_dispatch`, which re-runs the next tier
+    down on the same inputs and asserts parity (see the module docstring of
+    :mod:`repro.sanitize`).  The import is deferred: the sanitizer is never
+    loaded — and costs one env lookup per dispatch — unless armed.
+    """
+    if deps.sanitize_enabled():
+        from .. import sanitize
+
+        return sanitize.checked_dispatch(entry, graph, args, kwargs)
+    return entry.fn(graph, *args, **kwargs)
+
+
 def dispatch(op: str, graph: Any, *args: Any, **kwargs: Any) -> Any:
     """Run the best available kernel of ``op`` on ``graph``.
 
@@ -438,11 +454,11 @@ def dispatch(op: str, graph: Any, *args: Any, **kwargs: Any) -> Any:
             if entry is not None:
                 frozen = frozen_view(graph)
                 if frozen is not None:
-                    return entry.fn(frozen, *args, **kwargs)
+                    return _run(entry, frozen, args, kwargs)
         entry = _select(op, MUTABLE)
         if entry is None:
             raise NoKernelError(
                 f"no available kernel for operation {op!r} on backend 'mutable'"
             )
-        return entry.fn(graph, *args, **kwargs)
-    return resolve(op, graph).fn(graph, *args, **kwargs)
+        return _run(entry, graph, args, kwargs)
+    return _run(resolve(op, graph), graph, args, kwargs)

@@ -238,7 +238,17 @@ class ArtifactStore:
         )
         try:
             save(value, staging)
-            marker = {"artifact": name, "key": key, **(metadata or {})}
+            from .. import sanitize
+
+            # Recorded unconditionally (hashing is cheap next to building):
+            # a later run under REPRO_SANITIZE=1 re-hashes every cache hit
+            # against this digest before serving it.
+            marker = {
+                "artifact": name,
+                "key": key,
+                "payload_sha256": sanitize.hash_payload(staging),
+                **(metadata or {}),
+            }
             (staging / _MARKER).write_text(
                 json.dumps(marker, indent=2, sort_keys=True) + "\n", encoding="utf-8"
             )
@@ -332,7 +342,18 @@ class ArtifactResolver:
         # ArtifactEvent.seconds; it never enters a cache key or payload
         started = time.perf_counter()
         if self.store is not None and spec.persistent and self.store.has(name, key):
-            value = spec.load(self.store.entry_path(name, key))
+            entry = self.store.entry_path(name, key)
+            from .. import sanitize
+
+            if sanitize.enabled():
+                try:
+                    recorded = json.loads(
+                        (entry / _MARKER).read_text(encoding="utf-8")
+                    ).get("payload_sha256")
+                except (OSError, json.JSONDecodeError):
+                    recorded = None
+                sanitize.verify_artifact_payload(name, key, entry, recorded)
+            value = spec.load(entry)
             status = "cached"
         else:
             value = spec.builder(self)

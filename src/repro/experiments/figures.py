@@ -19,7 +19,6 @@ sample from entropy.
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..applications.anonymity import AnonymityParameters, attack_probability_vs_compromised

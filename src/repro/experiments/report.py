@@ -6,7 +6,7 @@ these helpers keep that formatting consistent and dependency-free.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 
 def format_series(

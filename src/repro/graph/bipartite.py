@@ -12,7 +12,7 @@ constant-time lookups.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, Iterator, Set, Tuple
+from typing import Dict, Hashable, Iterator, Set, Tuple
 
 from .errors import NodeNotFoundError
 

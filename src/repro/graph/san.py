@@ -30,7 +30,7 @@ read-only :class:`repro.graph.protocol.SANView` protocol, and
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, Optional, Set, Tuple
+from typing import Dict, Hashable, Iterable, Iterator, Set, Tuple
 
 from .bipartite import AttributeInfo, BipartiteAttributeGraph
 from .digraph import DiGraph

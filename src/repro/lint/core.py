@@ -19,7 +19,7 @@ module turns the catalog into a static-analysis gate:
 * :func:`run_lint` walks the target files, applies every selected rule, and
   returns a :class:`LintResult` the reporters render as text or JSON.
 
-The concrete invariant catalog (R001-R006) lives in
+The concrete invariant catalog (R001-R009) lives in
 :mod:`repro.lint.rules`; the CLI wiring in :mod:`repro.lint.cli`.
 """
 
@@ -550,6 +550,7 @@ def run_lint(
     # -- apply suppressions ----------------------------------------------
     active_rules = set(result.rules)
     used: Dict[Tuple[str, int, str], bool] = {}
+    baselined_rules: Set[Tuple[str, str]] = set()
     for finding in raw:
         resolved = str(Path(finding.path).resolve())
         silenced = False
@@ -566,6 +567,7 @@ def run_lint(
             (_baseline_path(finding.path), finding.rule, finding.message) in baseline
         ):
             result.baselined.append(finding)
+            baselined_rules.add((resolved, finding.rule))
         else:
             result.findings.append(finding)
 
@@ -576,6 +578,14 @@ def run_lint(
                 if rule_id not in active_rules:
                     continue  # rule not in this run: cannot judge staleness
                 if not used.get((suppression.path, suppression.line, rule_id)):
+                    resolved = str(Path(suppression.path).resolve())
+                    if (resolved, rule_id) in baselined_rules:
+                        # The rule still fires in this file but the finding
+                        # was absorbed by the baseline (it drifted off the
+                        # covered line).  One underlying issue must yield one
+                        # report, not one per mechanism: the baseline already
+                        # accounts for it, so the directive is not stale.
+                        continue
                     result.stale.append(
                         Finding(
                             path=suppression.path,

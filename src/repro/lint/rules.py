@@ -1,4 +1,4 @@
-"""The invariant catalog: concrete rules R001-R006.
+"""The invariant catalog: concrete rules R001-R009.
 
 Each rule encodes one load-bearing convention of this repository (the PR
 that introduced it is named in ``docs/architecture.md``'s invariant
@@ -548,6 +548,608 @@ def load_full_registry() -> Mapping[str, Mapping[str, Sequence[Any]]]:
         if kept:
             filtered[operation] = kept
     return filtered
+
+
+# -- R007: cache-token soundness ------------------------------------------
+
+#: Decorator names that mark a function as an artifact builder.
+_ARTIFACT_DECORATORS = {"artifact"}
+
+#: Scenario attributes that are identity/bookkeeping, never cache inputs.
+_SCENARIO_NEUTRAL_ATTRS = {"name", "description", "cache_token"}
+
+_RESOLVER_ROLE = "resolver"
+_SCENARIO_ROLE = "scenario"
+
+
+def _local_parent_map(root: ast.AST) -> Dict[ast.AST, ast.AST]:
+    table: Dict[ast.AST, ast.AST] = {}
+    for parent in ast.walk(root):
+        for child in ast.iter_child_nodes(parent):
+            table[child] = parent
+    return table
+
+
+def _method_table(cls: ast.ClassDef) -> Dict[str, ast.FunctionDef]:
+    return {
+        node.name: node
+        for node in cls.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _self_field_reads(
+    methods: Mapping[str, ast.FunctionDef],
+    method_name: str,
+    visited: Optional[set] = None,
+) -> set:
+    """``self.<field>`` reads reachable from a method through sibling calls."""
+    if visited is None:
+        visited = set()
+    if method_name in visited or method_name not in methods:
+        return set()
+    visited.add(method_name)
+    method = methods[method_name]
+    positional = method.args.args
+    if not positional:
+        return set()
+    self_name = positional[0].arg
+    parents = _local_parent_map(method)
+    reads: set = set()
+    for node in ast.walk(method):
+        if not (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == self_name
+        ):
+            continue
+        enclosing = parents.get(node)
+        is_call = isinstance(enclosing, ast.Call) and enclosing.func is node
+        if is_call and node.attr in methods:
+            reads |= _self_field_reads(methods, node.attr, visited)
+        else:
+            reads.add(node.attr)
+    return reads
+
+
+def _cache_token_model(
+    modules: Sequence[ModuleContext],
+) -> Tuple[Optional[set], Dict[str, set]]:
+    """(covered fields, method -> transitive field reads) across the run.
+
+    Unions every class defining ``cache_token`` in the linted module set;
+    returns ``(None, {})`` when no such class exists (the rule cannot judge
+    and stays silent).
+    """
+    covered: Optional[set] = None
+    method_reads: Dict[str, set] = {}
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = _method_table(node)
+            if "cache_token" not in methods:
+                continue
+            if covered is None:
+                covered = set()
+            covered |= _self_field_reads(methods, "cache_token")
+            for name in methods:
+                method_reads.setdefault(name, set()).update(
+                    _self_field_reads(methods, name)
+                )
+    return covered, method_reads
+
+
+def _role_of(expr: ast.AST, env: Mapping[str, str]) -> Optional[str]:
+    """Dataflow role of an expression: resolver, scenario, or neither."""
+    if isinstance(expr, ast.Name):
+        return env.get(expr.id)
+    if isinstance(expr, ast.Attribute):
+        if _role_of(expr.value, env) == _RESOLVER_ROLE and expr.attr == "scenario":
+            return _SCENARIO_ROLE
+        return None
+    return None
+
+
+def _role_env(fn: ast.AST, seed_roles: Mapping[str, str]) -> Dict[str, str]:
+    """Parameter roles plus simple-alias propagation, to a fixpoint."""
+    env = dict(seed_roles)
+    changed = True
+    while changed:
+        changed = False
+        for node in ast.walk(fn):
+            if not (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+            ):
+                continue
+            role = _role_of(node.value, env)
+            target = node.targets[0].id
+            if role is not None and env.get(target) != role:
+                env[target] = role
+                changed = True
+    return env
+
+
+@register_rule
+class CacheTokenSoundness(ProjectRule):
+    """Builders read only cache-token-covered scenario fields (PR 5).
+
+    For every ``@artifact`` builder, the set of scenario attribute reads
+    reachable from its body — through ``resolver.scenario`` aliases,
+    intra-module helper calls, and scenario *methods* — must be a subset of
+    the ``self.<field>`` reads inside ``cache_token()``.  A field a builder
+    consumes but the token omits is an under-keyed cache: two scenarios
+    differing only in that field share a key and silently serve each other's
+    artifacts.
+    """
+
+    rule_id = "R007"
+    name = "cache-token-soundness"
+    description = (
+        "every scenario field an @artifact builder reads (transitively "
+        "through aliases, intra-module helpers, and scenario methods) must "
+        "be folded into cache_token(); under-keyed caches serve stale "
+        "artifacts"
+    )
+
+    def check_project(self, modules: Sequence[ModuleContext]) -> Iterable[Finding]:
+        covered, method_reads = _cache_token_model(modules)
+        if covered is None:
+            return []
+        findings: List[Finding] = []
+        for module in modules:
+            module_defs = {
+                node.name: node
+                for node in module.tree.body
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            for node in module.tree.body:
+                if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if not any(
+                    _decorator_name(decorator) in _ARTIFACT_DECORATORS
+                    for decorator in node.decorator_list
+                ):
+                    continue
+                positional = node.args.args
+                if not positional:
+                    continue
+                self._scan(
+                    module,
+                    node,
+                    {positional[0].arg: _RESOLVER_ROLE},
+                    node.name,
+                    covered,
+                    method_reads,
+                    module_defs,
+                    {node.name},
+                    findings,
+                )
+        return findings
+
+    def _scan(
+        self,
+        module: ModuleContext,
+        fn: ast.AST,
+        seed_roles: Mapping[str, str],
+        builder: str,
+        covered: set,
+        method_reads: Mapping[str, set],
+        module_defs: Mapping[str, ast.AST],
+        visited: set,
+        findings: List[Finding],
+    ) -> None:
+        env = _role_env(fn, seed_roles)
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
+                if _role_of(node.value, env) != _SCENARIO_ROLE:
+                    continue
+                attr = node.attr
+                if attr in _SCENARIO_NEUTRAL_ATTRS:
+                    continue
+                parent = module.parents.get(node)
+                is_call = isinstance(parent, ast.Call) and parent.func is node
+                if is_call and attr in method_reads:
+                    for field in sorted(method_reads[attr] - covered):
+                        findings.append(
+                            self.finding(
+                                module,
+                                node,
+                                f"@artifact builder {builder!r} reads scenario "
+                                f"field {field!r} (via {attr}()) that "
+                                "cache_token() does not cover; an under-keyed "
+                                "cache serves stale artifacts — fold the field "
+                                "into cache_token() or hoist the read out of "
+                                "the builder",
+                            )
+                        )
+                elif attr not in covered:
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            f"@artifact builder {builder!r} reads scenario "
+                            f"field {attr!r} that cache_token() does not "
+                            "cover; an under-keyed cache serves stale "
+                            "artifacts — fold the field into cache_token() "
+                            "or hoist the read out of the builder",
+                        )
+                    )
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                callee = module_defs.get(node.func.id)
+                if callee is None or node.func.id in visited:
+                    continue
+                parameters = [arg.arg for arg in callee.args.args]
+                roles: Dict[str, str] = {}
+                for index, arg in enumerate(node.args):
+                    role = _role_of(arg, env)
+                    if role is not None and index < len(parameters):
+                        roles[parameters[index]] = role
+                for keyword in node.keywords:
+                    role = _role_of(keyword.value, env)
+                    if role is not None and keyword.arg:
+                        roles[keyword.arg] = role
+                if roles:
+                    self._scan(
+                        module,
+                        callee,
+                        roles,
+                        builder,
+                        covered,
+                        method_reads,
+                        module_defs,
+                        visited | {node.func.id},
+                        findings,
+                    )
+
+
+# -- R008: parallel-worker purity -----------------------------------------
+
+#: Roles of the shared-view taint analysis.
+_VIEWS_DICT = "views-dict"
+_VIEWS_ARRAY = "views-array"
+
+
+def _is_attach_call(module: ModuleContext, node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    dotted = module.resolve_dotted(node.func)
+    if dotted is not None:
+        return dotted.rsplit(".", 1)[-1] == "attach_views"
+    return isinstance(node.func, ast.Attribute) and node.func.attr == "attach_views"
+
+
+def _view_role(module: ModuleContext, expr: ast.AST, env: Mapping[str, str]) -> Optional[str]:
+    """Shared-view taint of an expression.
+
+    ``attach_views(...)`` yields the views dict; subscripting it yields an
+    array; slicing a tainted array yields another view of the same shared
+    buffer.  Any other call (``.copy()``, ``np.asarray``...) breaks the
+    taint — it produces private memory.
+    """
+    if isinstance(expr, ast.Name):
+        return env.get(expr.id)
+    if _is_attach_call(module, expr):
+        return _VIEWS_DICT
+    if isinstance(expr, ast.Subscript):
+        base = _view_role(module, expr.value, env)
+        if base in (_VIEWS_DICT, _VIEWS_ARRAY):
+            return _VIEWS_ARRAY
+    return None
+
+
+def _view_env(module: ModuleContext, fn: ast.AST) -> Dict[str, str]:
+    """Name -> taint role inside one function body, to a fixpoint."""
+    env: Dict[str, str] = {}
+    changed = True
+    while changed:
+        changed = False
+
+        def bind(name: str, role: Optional[str]) -> None:
+            nonlocal changed
+            if role is not None and env.get(name) != role:
+                env[name] = role
+                changed = True
+
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                bind(target.id, _view_role(module, node.value, env))
+            elif (
+                isinstance(target, ast.Tuple)
+                and isinstance(node.value, ast.Tuple)
+                and len(target.elts) == len(node.value.elts)
+            ):
+                for element, value in zip(target.elts, node.value.elts):
+                    if isinstance(element, ast.Name):
+                        bind(element.id, _view_role(module, value, env))
+    return env
+
+
+def _module_level_bindings(module: ModuleContext) -> set:
+    names: set = set()
+    for node in module.tree.body:
+        targets: List[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+            elif isinstance(target, ast.Tuple):
+                names.update(
+                    element.id
+                    for element in target.elts
+                    if isinstance(element, ast.Name)
+                )
+    return names
+
+
+def _root_name(expr: ast.AST) -> Optional[str]:
+    while isinstance(expr, (ast.Subscript, ast.Attribute)):
+        expr = expr.value
+    return expr.id if isinstance(expr, ast.Name) else None
+
+
+@register_rule
+class ParallelWorkerPurity(Rule):
+    """Functions submitted to the shared-memory pool stay pure (PR 7).
+
+    A worker that writes to a module global loses the write silently (fork
+    isolation) or races (threads); a worker that writes through a shared
+    *input* view corrupts sibling chunks; a lambda/nested function captures
+    a closure the pool cannot pickle reliably.  Output buffers are the one
+    sanctioned mutation and must be attached explicitly via
+    ``attach_output_views``.
+    """
+
+    rule_id = "R008"
+    name = "parallel-worker-purity"
+    description = (
+        "workers passed to engine.parallel.run_chunks must be module-level "
+        "functions that never write module globals or arrays attached via "
+        "attach_views (output buffers go through attach_output_views)"
+    )
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        module_defs = {
+            node.name: node
+            for node in module.tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        module_globals = _module_level_bindings(module)
+        findings: List[Finding] = []
+        analyzed: set = set()
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = module.resolve_dotted(node.func)
+            if dotted is None or dotted.rsplit(".", 1)[-1] != "run_chunks":
+                continue
+            if "parallel" not in dotted:
+                continue
+            worker = node.args[0] if node.args else None
+            if worker is None:
+                for keyword in node.keywords:
+                    if keyword.arg == "fn":
+                        worker = keyword.value
+            if worker is None:
+                continue
+            if isinstance(worker, ast.Lambda):
+                findings.append(
+                    self.finding(
+                        module,
+                        worker,
+                        "lambda submitted to run_chunks captures its closure; "
+                        "pool workers must be module-level functions (fork "
+                        "inherits them, spawn pickles them by reference)",
+                    )
+                )
+                continue
+            if not isinstance(worker, ast.Name):
+                continue
+            definition = module_defs.get(worker.id)
+            if definition is not None:
+                if worker.id not in analyzed:
+                    analyzed.add(worker.id)
+                    self._check_worker(
+                        module, definition, module_defs, module_globals, findings
+                    )
+            elif worker.id not in module.imports and self._is_nested_def(
+                module, worker.id
+            ):
+                findings.append(
+                    self.finding(
+                        module,
+                        worker,
+                        f"nested function {worker.id!r} submitted to "
+                        "run_chunks captures its enclosing scope; hoist the "
+                        "worker to module level",
+                    )
+                )
+        return findings
+
+    def _is_nested_def(self, module: ModuleContext, name: str) -> bool:
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name == name
+            ):
+                return True
+        return False
+
+    def _check_worker(
+        self,
+        module: ModuleContext,
+        worker: ast.AST,
+        module_defs: Mapping[str, ast.AST],
+        module_globals: set,
+        findings: List[Finding],
+    ) -> None:
+        queue = [worker]
+        visited = {worker.name}
+        while queue:
+            fn = queue.pop()
+            locals_here = {arg.arg for arg in fn.args.args}
+            locals_here.update(
+                node.id
+                for node in ast.walk(fn)
+                if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store)
+            )
+            env = _view_env(module, fn)
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Global):
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            f"pool worker {worker.name!r} declares "
+                            f"global {', '.join(node.names)}; worker-side "
+                            "global writes are lost to fork isolation — "
+                            "return results instead",
+                        )
+                    )
+                    continue
+                targets: List[ast.AST] = []
+                if isinstance(node, ast.Assign):
+                    targets = list(node.targets)
+                elif isinstance(node, ast.AugAssign):
+                    targets = [node.target]
+                for target in targets:
+                    if isinstance(target, (ast.Subscript, ast.Attribute)):
+                        base = (
+                            target.value
+                            if isinstance(target, (ast.Subscript, ast.Attribute))
+                            else target
+                        )
+                        if isinstance(target, ast.Subscript) and _view_role(
+                            module, target.value, env
+                        ) in (_VIEWS_DICT, _VIEWS_ARRAY):
+                            findings.append(
+                                self.finding(
+                                    module,
+                                    node,
+                                    f"pool worker {worker.name!r} writes "
+                                    "through a shared view attached with "
+                                    "attach_views(); input views are "
+                                    "read-only — attach intentional output "
+                                    "buffers via attach_output_views()",
+                                )
+                            )
+                            continue
+                        root = _root_name(base)
+                        if (
+                            root is not None
+                            and root in module_globals
+                            and root not in locals_here
+                        ):
+                            findings.append(
+                                self.finding(
+                                    module,
+                                    node,
+                                    f"pool worker {worker.name!r} mutates "
+                                    f"module-level state {root!r}; the write "
+                                    "is invisible to the parent and to "
+                                    "sibling workers — return results "
+                                    "instead",
+                                )
+                            )
+                if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                    callee = module_defs.get(node.func.id)
+                    if callee is not None and node.func.id not in visited:
+                        visited.add(node.func.id)
+                        queue.append(callee)
+
+
+# -- R009: seed-stream discipline -----------------------------------------
+
+#: Seeded RNG constructors whose seed argument the rule inspects.
+_SEED_SINKS = {
+    "numpy.random.default_rng",
+    "numpy.random.SeedSequence",
+    "numpy.random.RandomState",
+    "numpy.random.PCG64",
+    "numpy.random.Philox",
+    "random.Random",
+}
+
+_ARITHMETIC_OPS = (
+    ast.Add,
+    ast.Sub,
+    ast.Mult,
+    ast.Div,
+    ast.FloorDiv,
+    ast.Mod,
+    ast.Pow,
+    ast.LShift,
+    ast.RShift,
+    ast.BitOr,
+    ast.BitXor,
+    ast.BitAnd,
+)
+
+
+def _contains_nonconstant_arithmetic(expr: ast.AST) -> bool:
+    """A BinOp over anything non-constant anywhere inside ``expr``."""
+    for node in ast.walk(expr):
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _ARITHMETIC_OPS):
+            if any(
+                isinstance(leaf, (ast.Name, ast.Attribute, ast.Call))
+                for leaf in ast.walk(node)
+            ):
+                return True
+    return False
+
+
+@register_rule
+class SeedStreamDiscipline(Rule):
+    """Chunked RNG streams compose seeds, never add them (PR 3/7).
+
+    ``default_rng(base + i)`` collides across streams: chunk ``i`` seeded
+    with ``base + 1`` *is* chunk ``i+1``'s stream, and two base seeds one
+    apart overlap wholesale.  numpy's ``SeedSequence`` spawning — written
+    ``default_rng([base, index])`` — mixes the pair through a hash, so
+    every (base, index) combination is an independent stream.  This is the
+    derivation the frozen/parallel walk kernels rely on for bit-identity.
+    """
+
+    rule_id = "R009"
+    name = "seed-stream-discipline"
+    description = (
+        "chunked RNG seeds must be derived by sequence composition "
+        "(default_rng([base, index])), never arithmetic like base + i, "
+        "which collides across streams"
+    )
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = module.resolve_dotted(node.func)
+            if dotted not in _SEED_SINKS:
+                continue
+            seed: Optional[ast.AST] = node.args[0] if node.args else None
+            if seed is None:
+                for keyword in node.keywords:
+                    if keyword.arg == "seed":
+                        seed = keyword.value
+            if seed is None:
+                continue
+            if _contains_nonconstant_arithmetic(seed):
+                yield self.finding(
+                    module,
+                    node,
+                    f"seed of {dotted}() is derived by arithmetic; "
+                    "arithmetic seed derivation collides across chunk "
+                    "streams (base+1 of stream i is stream i+1's base) — "
+                    "compose a sequence instead: "
+                    f"{dotted.rsplit('.', 1)[-1]}([base, index])",
+                )
 
 
 @register_rule

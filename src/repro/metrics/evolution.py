@@ -13,7 +13,7 @@ Phase segmentation follows Section 2.2: Phase I (early bootstrap), Phase II
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from ..graph.san import SAN
 from ..utils.rng import RngLike, ensure_rng

@@ -26,7 +26,7 @@ Two sampling strategies are provided:
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, Optional, Sequence, Tuple
 
 from ..algorithms.sampling import weighted_choice
 from ..graph.san import SAN

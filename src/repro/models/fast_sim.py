@@ -389,6 +389,9 @@ def _derive_generators(rng: RngLike) -> Tuple[np.random.Generator, random.Random
         seed = rng
     else:
         seed = ensure_rng(rng).getrandbits(64)
+    # repro: lint-ignore[R009] -- fixed golden-ratio XOR decorrelating the
+    # MT stream from the numpy stream derived off one seed; there is no
+    # chunk index here, so the arithmetic cannot collide across streams
     return np.random.default_rng(seed), random.Random(seed ^ 0x9E3779B97F4A7C15)
 
 

@@ -14,7 +14,7 @@ apply directly.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from ..graph.san import SAN
 from ..utils.rng import RngLike, ensure_rng

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Tuple
 
 from .lifetime import truncated_normal_moments
 from .parameters import LifetimeParameters, SANModelParameters

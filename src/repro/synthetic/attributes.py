@@ -17,7 +17,7 @@ reproducible.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
 from ..utils.rng import RngLike, ensure_rng
 

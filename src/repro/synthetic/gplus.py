@@ -27,7 +27,6 @@ runs on.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
@@ -38,8 +37,8 @@ from ..metrics.evolution import PhaseBoundaries
 from ..models.history import ArrivalEvent, ArrivalHistory, apply_event
 from ..utils.rng import RngLike, ensure_rng
 from ..utils.validation import require_non_negative, require_positive, require_probability
-from .arrival import ArrivalSchedule, three_phase_schedule
-from .attributes import ProfileModel, build_vocabulary, default_vocabularies
+from .arrival import three_phase_schedule
+from .attributes import ProfileModel, build_vocabulary
 
 Node = Hashable
 

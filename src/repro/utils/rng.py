@@ -9,7 +9,7 @@ deterministically derives the generators used by each sub-component.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Union
+from typing import List, Union
 
 RngLike = Union[int, random.Random, None]
 

@@ -1,0 +1,40 @@
+"""R007 fixture: corrected — every builder-read field is in cache_token()."""
+
+from repro.experiments.artifacts import artifact
+
+
+class Scenario:
+    def __init__(self, config, seed, figure_seed, max_links):
+        self.config = config
+        self.seed = seed
+        self.figure_seed = figure_seed
+        self.max_links = max_links
+
+    def snapshot_days(self):
+        return list(range(self.config.num_days))
+
+    def cache_token(self):
+        return {
+            "config": self.config,
+            "seed": self.seed,
+            "figure_seed": self.figure_seed,
+            "max_links": self.max_links,
+        }
+
+
+def _walk_budget(scenario):
+    return scenario.max_links * 2
+
+
+@artifact("evolution")
+def build_evolution(resolver):
+    scenario = resolver.scenario
+    return (scenario.config, scenario.seed)
+
+
+@artifact("figures", needs=("evolution",))
+def build_figures(resolver):
+    days = resolver.scenario.snapshot_days()
+    seed = resolver.scenario.figure_seed
+    budget = _walk_budget(resolver.scenario)
+    return (days, seed, budget)

@@ -1,0 +1,17 @@
+"""R008 fixture: corrected — pure workers, explicit output buffers."""
+
+from repro.engine import parallel as par
+
+
+def _pure_worker(spec, out_spec, lo, hi):
+    views = par.attach_views(spec)
+    merged = views["indices"][lo:hi].copy()
+    out = par.attach_output_views(out_spec)["registers"]
+    out[lo:hi] = merged
+    return int(merged.sum())
+
+
+def fan_out(spec, out_spec, ranges):
+    return par.run_chunks(
+        _pure_worker, [(spec, out_spec, lo, hi) for lo, hi in ranges]
+    )

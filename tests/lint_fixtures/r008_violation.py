@@ -1,0 +1,25 @@
+"""R008 fixture: impure pool workers (globals, shared-view writes, closures)."""
+
+from repro.engine import parallel as par
+
+_PROGRESS = {}
+
+
+def _bad_global_worker(spec, lo, hi):
+    views = par.attach_views(spec)
+    total = int(views["indices"][lo:hi].sum())
+    _PROGRESS[lo] = total  # expect[R008]
+    return total
+
+
+def _bad_view_worker(spec, out_spec, lo, hi):
+    views = par.attach_views(spec)
+    registers = par.attach_views(out_spec)["registers"]
+    registers[lo:hi] = views["indices"][lo:hi]  # expect[R008]
+    return hi - lo
+
+
+def fan_out(spec, out_spec, ranges):
+    par.run_chunks(_bad_global_worker, [(spec, lo, hi) for lo, hi in ranges])
+    par.run_chunks(_bad_view_worker, [(spec, out_spec, lo, hi) for lo, hi in ranges])
+    return par.run_chunks(lambda args: args, [(1,)])  # expect[R008]

@@ -1,0 +1,14 @@
+"""R009 fixture: corrected — seeds composed as sequences, not sums."""
+
+from numpy.random import default_rng
+
+
+def walk_chunks(base_seed, chunks):
+    return [
+        default_rng([base_seed, index]).integers(0, 10, size=len(chunk))
+        for index, chunk in enumerate(chunks)
+    ]
+
+
+def bounded_constant_seed():
+    return default_rng(2**32 - 1)

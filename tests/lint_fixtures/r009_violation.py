@@ -1,0 +1,16 @@
+"""R009 fixture: arithmetic seed derivation collides across chunk streams."""
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def walk_chunks(base_seed, chunks):
+    streams = []
+    for index, chunk in enumerate(chunks):
+        rng = default_rng(base_seed + index)  # expect[R009]
+        streams.append(rng.integers(0, 10, size=len(chunk)))
+    return streams
+
+
+def legacy_stream(base_seed, index):
+    return np.random.RandomState(seed=base_seed * 1000 + index)  # expect[R009]

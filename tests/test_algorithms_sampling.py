@@ -10,7 +10,6 @@ from repro.algorithms import (
     subsample_attributes,
     weighted_choice,
 )
-from repro.graph import san_from_edge_lists
 
 
 def test_sample_nodes_without_replacement(figure1_san):

@@ -1,6 +1,5 @@
 """Tests for BFS traversal, distance distributions, and attribute distances."""
 
-import pytest
 
 from repro.algorithms import (
     attribute_distance,

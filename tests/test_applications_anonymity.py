@@ -1,6 +1,5 @@
 """Tests for the anonymous-communication timing-analysis experiment."""
 
-import pytest
 
 from repro.applications import (
     AnonymityParameters,

@@ -1,8 +1,6 @@
 """Tests for the SybilLimit-based Sybil-defense experiment."""
 
-import random
 
-import pytest
 
 from repro.algorithms import capped_undirected_adjacency
 from repro.applications import (

@@ -4,8 +4,6 @@ import pytest
 
 from repro.crawler import (
     FULLY_PUBLIC,
-    BFSCrawler,
-    DailyCrawler,
     PrivacyModel,
     crawl_evolution,
     crawl_snapshot,

@@ -5,7 +5,6 @@ workload; these tests check that every driver returns well-formed data on the
 small session workload so the harness cannot silently break.
 """
 
-import pytest
 
 from repro.experiments import (
     figure2_3_growth,

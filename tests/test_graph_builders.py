@@ -1,6 +1,5 @@
 """Unit tests for SAN construction helpers."""
 
-import pytest
 
 from repro.graph import (
     attribute_node_id,

@@ -5,7 +5,6 @@ the benchmark harness; here we assert the qualitative orderings on
 session-scoped runs so the suite stays fast.
 """
 
-import pytest
 
 from repro.applications import (
     AnonymityParameters,

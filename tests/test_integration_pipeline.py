@@ -15,7 +15,6 @@ from repro.metrics import (
     attribute_degrees_of_social_nodes,
     degree_by_top_attribute_values,
     fine_grained_reciprocity,
-    global_reciprocity,
     growth_series,
     reciprocity_series,
     social_degrees_of_attribute_nodes,

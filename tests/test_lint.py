@@ -2,9 +2,9 @@
 
 Three layers of coverage:
 
-* the fixture corpus under ``tests/lint_fixtures/`` — every rule R001-R005
-  both fires on a deliberate violation (lines marked ``# expect[R###]``)
-  and stays silent on the corrected form;
+* the fixture corpus under ``tests/lint_fixtures/`` — every AST rule
+  (R001-R005, R007-R009) both fires on a deliberate violation (lines
+  marked ``# expect[R###]``) and stays silent on the corrected form;
 * the suppression syntax — a justified ``lint-ignore`` silences a finding,
   a reasonless one is itself a finding, and ``--report-stale`` flags
   directives whose rule no longer fires;
@@ -166,6 +166,7 @@ class TestRuleSelection:
     def test_catalog_is_complete(self):
         assert sorted(all_rules()) == [
             "R001", "R002", "R003", "R004", "R005", "R006",
+            "R007", "R008", "R009",
         ]
         for rule in all_rules().values():
             assert rule.name and rule.description
@@ -314,6 +315,70 @@ class TestCli:
         )
         assert code == 0
         assert "baselined" in capsys.readouterr().out
+
+    def test_baselined_drifted_suppression_reported_once(self, tmp_path, capsys):
+        # Regression: a finding that drifted off its suppression's covered
+        # line and was then accepted into the baseline is ONE underlying
+        # issue.  It must surface once (as baselined), not once per
+        # mechanism — the directive is not reported stale on top.
+        target = tmp_path / "drift.py"
+        target.write_text(
+            "import numpy as np\n"
+            "\n"
+            "# repro: lint-ignore[R001] -- entropy opt-in for the demo\n"
+            "x = 1\n"
+            "rng = np.random.default_rng()\n"
+        )
+        baseline = tmp_path / "baseline.json"
+        assert main(
+            ["lint", str(target), "--rules", "R001", "--write-baseline", str(baseline)]
+        ) == 0
+        capsys.readouterr()
+        # Without the baseline the drift is two failures (finding + stale).
+        assert main(["lint", str(target), "--rules", "R001", "--report-stale"]) == 1
+        capsys.readouterr()
+        # With it: zero failures, and no stale report for the directive.
+        code = main(
+            [
+                "lint", str(target), "--rules", "R001",
+                "--baseline", str(baseline), "--report-stale",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "stale suppression:" not in out  # the R000 message marker
+        assert "0 stale suppression(s)" in out
+        assert "baselined" in out
+
+    def test_genuinely_stale_suppression_still_fails_under_baseline(
+        self, tmp_path, capsys
+    ):
+        # The satellite fix must not swallow real staleness: a directive
+        # whose rule fires nowhere in the file stays a failure even when a
+        # baseline (for some other file's finding) is in force.
+        noisy = tmp_path / "noisy.py"
+        noisy.write_text(
+            "import numpy as np\n"
+            "rng = np.random.default_rng()\n"
+        )
+        baseline = tmp_path / "baseline.json"
+        assert main(
+            ["lint", str(noisy), "--rules", "R001", "--write-baseline", str(baseline)]
+        ) == 0
+        stale_only = tmp_path / "stale_only.py"
+        stale_only.write_text(
+            "# repro: lint-ignore[R001] -- nothing here draws entropy\n"
+            "x = 1\n"
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "lint", str(stale_only), "--rules", "R001",
+                "--baseline", str(baseline), "--report-stale",
+            ]
+        )
+        assert code == 1
+        assert "stale suppression" in capsys.readouterr().out
 
     def test_baseline_missing_file_is_usage_error(self, capsys):
         code = main(

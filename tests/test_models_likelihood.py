@@ -6,7 +6,6 @@ interchangeable: same scored-link set, same per-model log-likelihoods.
 """
 
 import math
-import random
 
 import pytest
 

@@ -7,7 +7,6 @@ from repro.metrics import (
     attribute_degrees_of_social_nodes,
     global_reciprocity,
     social_degrees_of_attribute_nodes,
-    social_in_degrees,
     social_out_degrees,
 )
 from repro.models import (

@@ -1,6 +1,5 @@
 """Property-based tests for model components (distributions, closures, events)."""
 
-import random
 
 import numpy as np
 from hypothesis import given, settings
@@ -9,7 +8,6 @@ from hypothesis import strategies as st
 from repro.fitting import DiscreteLognormal, PowerLaw
 from repro.models import (
     ArrivalHistory,
-    AttachmentModelSpec,
     AttachmentParameters,
     LinearAttributePreferentialAttachment,
     predicted_attribute_social_degree_exponent,

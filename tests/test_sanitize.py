@@ -1,0 +1,369 @@
+"""Tests for the runtime sanitizer (``repro.sanitize``).
+
+Each injected fault from the PR brief is exercised end to end:
+
+* a deliberately divergent frozen kernel is caught by the backend-parity
+  check with an error naming the operation and both backends;
+* a worker-side write through a shared input view raises instead of
+  corrupting sibling chunks (``attach_output_views`` stays writeable);
+* a tampered artifact cache entry is caught by payload re-hashing;
+* an unexpected NaN output raises unless the operation is allowlisted.
+
+Plus unit coverage of the comparison/hashing primitives and the report.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import sanitize
+from repro.engine import parallel, registry
+from repro.engine.registry import FROZEN, MUTABLE, dispatch
+from repro.experiments.artifacts import (
+    ArtifactResolver,
+    ArtifactStore,
+    register_artifact,
+    unregister_artifact,
+)
+from repro.graph import san_from_edge_lists
+
+
+@pytest.fixture
+def armed(monkeypatch):
+    """Arm the sanitizer and start from a clean report."""
+    monkeypatch.setenv(sanitize.ENV_VAR, "1")
+    sanitize.reset_report()
+    yield
+    sanitize.reset_report()
+
+
+@pytest.fixture
+def small_frozen():
+    return san_from_edge_lists([(1, 2), (2, 1), (2, 3)]).freeze()
+
+
+def _register(op, fn, backend):
+    registry.register(op, fn, backend=backend)
+
+
+def _unregister(op):
+    registry._registry.pop(op, None)
+
+
+# ----------------------------------------------------------------------
+# Backend parity at dispatch time
+# ----------------------------------------------------------------------
+class TestBackendParity:
+    def test_divergent_frozen_kernel_is_caught(self, armed, small_frozen):
+        op = "test.sanitize.divergent"
+        _register(op, lambda graph: 2.5, MUTABLE)
+        _register(op, lambda graph: 1.5, FROZEN)
+        try:
+            with pytest.raises(sanitize.BackendParityError) as excinfo:
+                dispatch(op, small_frozen)
+            message = str(excinfo.value)
+            assert op in message
+            assert "'frozen'" in message and "'mutable'" in message
+            assert "1.5" in message and "2.5" in message
+            divergences = sanitize.report()["parity"]["divergences"]
+            assert len(divergences) == 1
+            assert divergences[0]["op"] == op
+        finally:
+            _unregister(op)
+
+    def test_agreeing_kernels_pass_and_tally(self, armed, small_frozen):
+        op = "test.sanitize.agreeing"
+        _register(op, lambda graph: graph.number_of_social_edges(), MUTABLE)
+        _register(op, lambda graph: graph.number_of_social_edges(), FROZEN)
+        try:
+            assert dispatch(op, small_frozen) == 3
+            report = sanitize.report()
+            assert report["parity"]["checked"] == 1
+            assert report["parity"]["divergences"] == []
+            assert report["ops"][op] == {"frozen:parity-vs-mutable": 1}
+        finally:
+            _unregister(op)
+
+    def test_float_roundoff_tolerated_frozen_vs_portable(self, armed, small_frozen):
+        op = "test.sanitize.roundoff"
+        _register(op, lambda graph: 0.1 + 0.2, MUTABLE)
+        _register(op, lambda graph: 0.3, FROZEN)  # differs only in roundoff
+        try:
+            assert dispatch(op, small_frozen) == 0.3
+            assert sanitize.report()["parity"]["divergences"] == []
+        finally:
+            _unregister(op)
+
+    def test_stochastic_frozen_kernel_skipped(self, armed, small_frozen):
+        op = "test.sanitize.stochastic"
+        _register(op, lambda graph, seed=0: seed, MUTABLE)
+        _register(op, lambda graph, seed=0: seed + 1, FROZEN)  # would diverge
+        try:
+            assert dispatch(op, small_frozen, seed=7) == 8
+            skipped = sanitize.report()["parity"]["skipped"]
+            assert skipped.get("stochastic-draw-order") == 1
+        finally:
+            _unregister(op)
+
+    def test_live_rng_argument_skips_parity(self, armed, small_frozen):
+        op = "test.sanitize.live_rng"
+        _register(op, lambda graph, gen: 1.0, MUTABLE)
+        _register(op, lambda graph, gen: 2.0, FROZEN)  # would diverge
+        try:
+            result = dispatch(op, small_frozen, np.random.default_rng(3))
+            assert result == 2.0
+            skipped = sanitize.report()["parity"]["skipped"]
+            assert skipped.get("live-rng-argument") == 1
+        finally:
+            _unregister(op)
+
+    def test_disarmed_dispatch_never_runs_reference(self, monkeypatch, small_frozen):
+        monkeypatch.delenv(sanitize.ENV_VAR, raising=False)
+        calls = []
+        op = "test.sanitize.disarmed"
+        _register(op, lambda graph: calls.append("mutable") or 0, MUTABLE)
+        _register(op, lambda graph: calls.append("frozen") or 0, FROZEN)
+        try:
+            dispatch(op, small_frozen)
+            assert calls == ["frozen"]
+        finally:
+            _unregister(op)
+
+
+# ----------------------------------------------------------------------
+# NaN/Inf screening
+# ----------------------------------------------------------------------
+class TestNonFiniteScreen:
+    def test_unexpected_nan_raises(self, armed, small_frozen):
+        op = "test.sanitize.nan_out"
+        _register(op, lambda graph: {"score": float("nan")}, MUTABLE)
+        try:
+            with pytest.raises(sanitize.NonFiniteOutputError) as excinfo:
+                dispatch(op, san_from_edge_lists([(1, 2)]))
+            message = str(excinfo.value)
+            assert op in message
+            assert "$['score']" in message
+            assert "NONFINITE_ALLOWED" in message
+        finally:
+            _unregister(op)
+
+    def test_allowlisted_op_passes(self, armed, monkeypatch):
+        op = "test.sanitize.loglik"
+        monkeypatch.setitem(
+            sanitize.__dict__, "NONFINITE_ALLOWED", sanitize.NONFINITE_ALLOWED | {op}
+        )
+        _register(op, lambda graph: float("-inf"), MUTABLE)
+        try:
+            assert dispatch(op, san_from_edge_lists([(1, 2)])) == float("-inf")
+            assert sanitize.report()["nonfinite"]["allowlisted"] == [op]
+        finally:
+            _unregister(op)
+
+    def test_find_nonfinite_walks_containers(self):
+        assert sanitize.find_nonfinite({"a": [1.0, 2.0]}) is None
+        found = sanitize.find_nonfinite({"a": [1.0, np.array([0.0, np.inf])]})
+        assert found == "$['a'][1]: 1 non-finite element(s)"
+        assert sanitize.find_nonfinite(np.array([1, 2], dtype=np.int64)) is None
+
+
+# ----------------------------------------------------------------------
+# Shared-memory hygiene
+# ----------------------------------------------------------------------
+class TestSharedViewClamp:
+    @pytest.fixture(autouse=True)
+    def _inherited_tracker(self, monkeypatch):
+        # Simulating "worker side" in the owner process: keep _attach from
+        # unregistering the owner's segment with the resource tracker.
+        monkeypatch.setattr(parallel, "_tracker_inherited", True)
+
+    def test_worker_side_input_views_are_read_only(self, armed):
+        shared = parallel.SharedCSR({"registers": np.arange(6, dtype=np.int64)})
+        try:
+            # Simulate the worker side: workers never own the segment
+            # (``_worker_init`` clears ``_LIVE_SEGMENTS`` in the child).
+            owner = parallel._LIVE_SEGMENTS.pop(shared.spec.name)
+            try:
+                views = parallel.attach_views(shared.spec)
+                assert not views["registers"].flags.writeable
+                with pytest.raises(ValueError, match="read-only"):
+                    views["registers"][0] = 99
+                # The explicit output opt-out stays writeable.
+                out = parallel.attach_output_views(shared.spec)
+                out["registers"][0] = 99
+                assert shared.view("registers")[0] == 99
+            finally:
+                parallel._LIVE_SEGMENTS[shared.spec.name] = owner
+        finally:
+            shared.unlink()
+
+    def test_owner_views_stay_writeable(self, armed):
+        shared = parallel.SharedCSR({"x": np.zeros(3, dtype=np.float64)})
+        try:
+            views = parallel.attach_views(shared.spec)
+            assert views["x"].flags.writeable
+        finally:
+            shared.unlink()
+
+    def test_disarmed_worker_views_writeable(self, monkeypatch):
+        monkeypatch.delenv(sanitize.ENV_VAR, raising=False)
+        shared = parallel.SharedCSR({"x": np.zeros(3, dtype=np.float64)})
+        try:
+            owner = parallel._LIVE_SEGMENTS.pop(shared.spec.name)
+            try:
+                views = parallel.attach_views(shared.spec)
+                assert views["x"].flags.writeable
+            finally:
+                parallel._LIVE_SEGMENTS[shared.spec.name] = owner
+        finally:
+            shared.unlink()
+
+
+# ----------------------------------------------------------------------
+# Artifact payload integrity
+# ----------------------------------------------------------------------
+class _Scenario:
+    name = "sanitize-test"
+
+    def cache_token(self):
+        return {"scenario": self.name}
+
+
+def _register_blob(tmp_path_name):
+    def build(resolver):
+        return "payload-" + tmp_path_name
+
+    def save(value, directory):
+        (directory / "blob.txt").write_text(value, encoding="utf-8")
+
+    def load(directory):
+        return (directory / "blob.txt").read_text(encoding="utf-8")
+
+    register_artifact(tmp_path_name, build, save=save, load=load)
+
+
+class TestArtifactIntegrity:
+    def test_tampered_cache_entry_is_caught(self, armed, tmp_path):
+        name = "test_sanitize_blob"
+        _register_blob(name)
+        try:
+            first = ArtifactResolver(_Scenario(), cache_dir=tmp_path)
+            value = first.artifact(name)
+            assert value == "payload-" + name
+            # Tamper with the committed payload behind the store's back.
+            store = ArtifactStore(tmp_path)
+            key = first.key(name)
+            entry = store.entry_path(name, key)
+            (entry / "blob.txt").write_text("corrupted", encoding="utf-8")
+            second = ArtifactResolver(_Scenario(), cache_dir=tmp_path)
+            with pytest.raises(sanitize.ArtifactIntegrityError) as excinfo:
+                second.artifact(name)
+            message = str(excinfo.value)
+            assert name in message and key in message
+            assert sanitize.report()["artifacts"]["mismatches"][0]["artifact"] == name
+        finally:
+            unregister_artifact(name)
+
+    def test_clean_cache_hit_verifies(self, armed, tmp_path):
+        name = "test_sanitize_clean_blob"
+        _register_blob(name)
+        try:
+            ArtifactResolver(_Scenario(), cache_dir=tmp_path).artifact(name)
+            again = ArtifactResolver(_Scenario(), cache_dir=tmp_path)
+            assert again.artifact(name) == "payload-" + name
+            assert again.events[-1].status == "cached"
+            assert sanitize.report()["artifacts"]["verified"] == 1
+        finally:
+            unregister_artifact(name)
+
+    def test_legacy_entry_without_digest_is_skipped(self, armed, tmp_path):
+        name = "test_sanitize_legacy_blob"
+        _register_blob(name)
+        try:
+            first = ArtifactResolver(_Scenario(), cache_dir=tmp_path)
+            first.artifact(name)
+            entry = ArtifactStore(tmp_path).entry_path(name, first.key(name))
+            marker = json.loads((entry / "ARTIFACT.json").read_text(encoding="utf-8"))
+            del marker["payload_sha256"]
+            (entry / "ARTIFACT.json").write_text(json.dumps(marker), encoding="utf-8")
+            again = ArtifactResolver(_Scenario(), cache_dir=tmp_path)
+            assert again.artifact(name) == "payload-" + name
+            assert sanitize.report()["artifacts"]["verified"] == 0
+        finally:
+            unregister_artifact(name)
+
+    def test_hash_payload_sensitive_to_rename_and_content(self, tmp_path):
+        (tmp_path / "a.txt").write_text("one", encoding="utf-8")
+        (tmp_path / "b.txt").write_text("two", encoding="utf-8")
+        baseline = sanitize.hash_payload(tmp_path)
+        assert sanitize.hash_payload(tmp_path) == baseline
+        (tmp_path / "ARTIFACT.json").write_text("{}", encoding="utf-8")
+        assert sanitize.hash_payload(tmp_path) == baseline  # marker excluded
+        (tmp_path / "b.txt").rename(tmp_path / "c.txt")
+        renamed = sanitize.hash_payload(tmp_path)
+        assert renamed != baseline
+        (tmp_path / "c.txt").write_text("TWO", encoding="utf-8")
+        assert sanitize.hash_payload(tmp_path) != renamed
+
+
+# ----------------------------------------------------------------------
+# Comparison primitive
+# ----------------------------------------------------------------------
+class TestCompareResults:
+    def test_exact_floats(self):
+        assert sanitize.compare_results(1.5, 1.5, exact=True) is None
+        found = sanitize.compare_results(1.5, 1.5 + 1e-12, exact=True)
+        assert found is not None and found.startswith("$")
+
+    def test_close_floats(self):
+        assert sanitize.compare_results(0.1 + 0.2, 0.3, exact=False) is None
+        assert sanitize.compare_results(0.3, 0.4, exact=False) is not None
+
+    def test_matching_nans_agree(self):
+        assert sanitize.compare_results(float("nan"), float("nan"), exact=True) is None
+        left = np.array([1.0, np.nan])
+        assert sanitize.compare_results(left, left.copy(), exact=True) is None
+
+    def test_array_shape_and_values(self):
+        a = np.arange(4)
+        assert sanitize.compare_results(a, a.copy(), exact=True) is None
+        found = sanitize.compare_results(a, a[:3], exact=True)
+        assert "shape mismatch" in found
+        b = a.copy()
+        b[2] = 99
+        assert "1 position(s)" in sanitize.compare_results(a, b, exact=True)
+
+    def test_nested_containers_report_path(self):
+        left = {"deg": [1, 2, {"mean": 3.0}]}
+        right = {"deg": [1, 2, {"mean": 4.0}]}
+        found = sanitize.compare_results(left, right, exact=True)
+        assert found == "$['deg'][2]['mean']: 3.0 != 4.0"
+
+    def test_dict_key_mismatch(self):
+        found = sanitize.compare_results({"a": 1}, {"b": 1}, exact=True)
+        assert "dict keys differ" in found
+
+    def test_scalar_mismatch(self):
+        assert sanitize.compare_results(3, 3, exact=True) is None
+        assert sanitize.compare_results(3, 4, exact=True) == "$: 3 != 4"
+
+
+# ----------------------------------------------------------------------
+# The report artifact
+# ----------------------------------------------------------------------
+class TestReport:
+    def test_write_report_round_trips(self, armed, tmp_path, small_frozen):
+        op = "test.sanitize.reported"
+        _register(op, lambda graph: 42, MUTABLE)
+        _register(op, lambda graph: 42, FROZEN)
+        try:
+            dispatch(op, small_frozen)
+        finally:
+            _unregister(op)
+        path = sanitize.write_report(tmp_path / "nested" / "sanitizer_report.json")
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["parity"]["checked"] == 1
+        assert payload["nonfinite"]["checked"] == 1
+        assert payload["ops"][op] == {"frozen:parity-vs-mutable": 1}

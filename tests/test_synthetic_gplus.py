@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.graph import SAN
 from repro.metrics import (
     PhaseBoundaries,
     attribute_declaration_fraction,
