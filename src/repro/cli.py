@@ -1,6 +1,6 @@
 """Command-line interface for the SAN reproduction library.
 
-Nine subcommands cover the common workflows without writing any Python:
+Ten subcommands cover the common workflows without writing any Python:
 
 * ``simulate``  — run the synthetic Google+ evolution and save the final SAN
   (or a chosen day's snapshot) as a TSV pair.
@@ -25,10 +25,15 @@ Nine subcommands cover the common workflows without writing any Python:
   pipeline's stage payloads and fail loudly, naming each violated
   assertion.  Reuses the pipeline's artifact cache, so a warm rerun
   rebuilds nothing.
+* ``convert``   — convert a SAN between the text formats and the versioned
+  binary columnar format: a ``.col`` file mmaps open in O(header) time with
+  zero parsing, so repeated loads of a large crawl cost nothing.  Also
+  inspects existing columnar files (``--info``).
 * ``lint``      — the invariant regression gate: run the AST-based rule
   catalog (seeded RNG, scipy containment, registry dispatch,
   content-derived caches, shared-memory hygiene, registry coherence,
-  cache-token soundness, parallel-worker purity, seed-stream discipline)
+  cache-token soundness, parallel-worker purity, seed-stream discipline,
+  storage hygiene)
   over the library source and fail on any unsuppressed finding.  The
   runtime counterpart is ``pipeline --sanitize`` (or ``REPRO_SANITIZE=1``
   around any entry point), which checks backend parity, shared-view
@@ -50,6 +55,9 @@ Examples
     repro pipeline --scenario tiny --figures fig04,fig15
     repro validate --scenario churn --cache-dir ~/.cache/repro --out validation/
     repro validate --all --cache-dir ~/.cache/repro
+    repro convert --social /tmp/gplus.social.tsv --attributes /tmp/gplus.attrs.tsv \
+        --out /tmp/gplus.col
+    repro convert --info /tmp/gplus.col
     repro lint
     repro lint --rules R001,R004 --format json --out lint-findings.json
 """
@@ -322,6 +330,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="list the scenarios with checked-in answer keys, then exit",
     )
 
+    convert_help = (
+        "convert a SAN (TSV pair or JSON) to the versioned binary columnar "
+        "format, or inspect an existing columnar file; columnar files open "
+        "via mmap in O(header) time with zero parsing"
+    )
+    convert = subparsers.add_parser(
+        "convert", help=convert_help, description=convert_help
+    )
+    convert.add_argument("--social", default=None, help="social edge TSV (source<TAB>target)")
+    convert.add_argument("--attributes", default=None, help="attribute TSV (user<TAB>type<TAB>value)")
+    convert.add_argument("--json", dest="json_path", default=None, help="SAN JSON document (alternative to the TSV pair)")
+    convert.add_argument("--out", default=None, help="columnar output path (conventionally <name>.col)")
+    convert.add_argument(
+        "--info",
+        default=None,
+        metavar="FILE",
+        help="print the validated header summary of an existing columnar file and exit",
+    )
+    convert.add_argument(
+        "--verify",
+        action="store_true",
+        help="after writing, reopen the file mmap-backed and check the arrays "
+        "are bit-identical to the in-RAM graph",
+    )
+
     from .lint.cli import add_parser as add_lint_parser
 
     add_lint_parser(subparsers)
@@ -590,6 +623,80 @@ def _command_pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_convert(args: argparse.Namespace) -> int:
+    from .graph import columnar_info, load_san_json, open_columnar, save_columnar
+
+    if args.info is not None:
+        info = columnar_info(args.info)
+        print(f"{args.info}: columnar v{info['version']} kind={info['kind']}")
+        print(f"  file size   {info['file_size']} bytes (data at {info['data_start']})")
+        counts = info["meta"].get("counts")
+        if counts:
+            print(
+                "  counts      "
+                + "  ".join(f"{key}={value}" for key, value in sorted(counts.items()))
+            )
+        print(f"  {'section':<22} {'offset':>10} {'dtype':<8} shape")
+        for name, spec in info["sections"].items():
+            print(
+                f"  {name:<22} {spec['offset']:>10} {spec['dtype']:<8} "
+                f"{tuple(spec['shape'])}"
+            )
+        return 0
+
+    if args.out is None:
+        print("error: pass --out <file.col> (or --info <file.col>)", file=sys.stderr)
+        return 2
+    if args.json_path is not None:
+        if args.social or args.attributes:
+            print(
+                "error: --json and the TSV flags are mutually exclusive",
+                file=sys.stderr,
+            )
+            return 2
+        san = load_san_json(args.json_path, frozen=True)
+        source = args.json_path
+    elif args.social and args.attributes:
+        san = load_san_tsv(args.social, args.attributes, frozen=True)
+        source = args.social
+    else:
+        print(
+            "error: pass --social/--attributes (TSV pair) or --json",
+            file=sys.stderr,
+        )
+        return 2
+
+    save_columnar(san, args.out)
+    size = os.path.getsize(args.out)
+    edges = san.number_of_social_edges() + san.number_of_attribute_edges()
+    ratio = f" ({size / edges:.1f} bytes/edge)" if edges else ""
+    print(f"wrote {args.out}: {size} bytes{ratio} from {source}")
+    if args.verify:
+        from .graph.columnar import _collect_sections
+
+        import numpy as np
+
+        reopened = open_columnar(args.out, mmap_mode="r")
+        _, expected, _ = _collect_sections(san, None)
+        _, observed, _ = _collect_sections(reopened, None)
+        mismatched = [
+            name
+            for name in sorted(set(expected) | set(observed))
+            if name not in expected
+            or name not in observed
+            or expected[name].dtype != observed[name].dtype
+            or not np.array_equal(expected[name], observed[name])
+        ]
+        if mismatched:
+            print(
+                f"error: mmap reopen differs in section(s): {', '.join(mismatched)}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"verified: mmap reopen is bit-identical ({len(expected)} sections)")
+    return 0
+
+
 def _command_lint(args: argparse.Namespace) -> int:
     from .lint.cli import run as lint_run
 
@@ -668,6 +775,7 @@ _COMMANDS = {
     "likelihood": _command_likelihood,
     "pipeline": _command_pipeline,
     "validate": _command_validate,
+    "convert": _command_convert,
     "lint": _command_lint,
 }
 

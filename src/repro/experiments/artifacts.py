@@ -22,7 +22,9 @@ therefore re-keys — and rebuilds — everything downstream, while a warm cache
 reruns the full figure suite without recomputing a single artifact.
 
 Persistence goes through :mod:`repro.graph.serialization` (SAN JSON
-documents), and every frozen artifact is built with :func:`canonical_frozen`
+documents) for mutable inputs and :mod:`repro.graph.columnar` (binary
+columnar files, served as ``np.memmap`` views on warm hits) for frozen
+graphs, and every frozen artifact is built with :func:`canonical_frozen`
 — a sorted rebuild that makes the CSR view a pure function of the graph's
 *content* rather than of the source object's set-insertion history.  Cold,
 warm, and naive (per-figure re-derivation) runs of the same scenario are
@@ -42,6 +44,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..crawler.snapshots import SnapshotSeries, crawl_evolution
+from ..graph.columnar import open_columnar, save_columnar
 from ..graph.serialization import load_san_json, save_san_json
 from ..models.estimation import estimate_parameters
 from ..models.history import ArrivalEvent, ArrivalHistory
@@ -197,6 +200,26 @@ def artifact_topological_order(names: Sequence[str]) -> List[str]:
 _MARKER = "ARTIFACT.json"
 
 
+def _payload_bytes(entry: Path) -> int:
+    """Total size of an entry's payload files (everything but the marker)."""
+    return sum(
+        path.stat().st_size
+        for path in sorted(entry.rglob("*"))
+        if path.is_file() and path.name != _MARKER
+    )
+
+
+def _recorded_payload_bytes(entry: Path) -> int:
+    """Payload size from the entry marker (re-measured for pre-size entries)."""
+    try:
+        recorded = json.loads((entry / _MARKER).read_text(encoding="utf-8")).get(
+            "payload_bytes"
+        )
+    except (OSError, json.JSONDecodeError):
+        recorded = None
+    return int(recorded) if recorded is not None else _payload_bytes(entry)
+
+
 class ArtifactStore:
     """Content-addressed artifact directory: ``<root>/<name>-<key>/``.
 
@@ -240,13 +263,16 @@ class ArtifactStore:
             save(value, staging)
             from .. import sanitize
 
-            # Recorded unconditionally (hashing is cheap next to building):
-            # a later run under REPRO_SANITIZE=1 re-hashes every cache hit
-            # against this digest before serving it.
+            # Recorded unconditionally (hashing at write time is cheap next
+            # to building).  Warm hits deliberately do NOT re-hash: for a
+            # multi-hundred-MB columnar graph that eager read would cost more
+            # than the load it guards, so integrity verification happens only
+            # under REPRO_SANITIZE=1 (see ArtifactResolver.artifact).
             marker = {
                 "artifact": name,
                 "key": key,
                 "payload_sha256": sanitize.hash_payload(staging),
+                "payload_bytes": _payload_bytes(staging),
                 **(metadata or {}),
             }
             (staging / _MARKER).write_text(
@@ -286,6 +312,8 @@ class ArtifactEvent:
     status: str  # "built" or "cached"
     persistent: bool
     seconds: float
+    #: On-disk payload size (persistent artifacts; 0 for memory views).
+    bytes: int = 0
 
 
 class ArtifactResolver:
@@ -341,6 +369,7 @@ class ArtifactResolver:
         # repro: lint-ignore[R004] -- build timing for the manifest's
         # ArtifactEvent.seconds; it never enters a cache key or payload
         started = time.perf_counter()
+        payload_bytes = 0
         if self.store is not None and spec.persistent and self.store.has(name, key):
             entry = self.store.entry_path(name, key)
             from .. import sanitize
@@ -355,11 +384,12 @@ class ArtifactResolver:
                 sanitize.verify_artifact_payload(name, key, entry, recorded)
             value = spec.load(entry)
             status = "cached"
+            payload_bytes = _recorded_payload_bytes(entry)
         else:
             value = spec.builder(self)
             status = "built"
             if self.store is not None and spec.persistent:
-                self.store.write(
+                entry = self.store.write(
                     name,
                     key,
                     spec.save,
@@ -369,6 +399,7 @@ class ArtifactResolver:
                         "version": spec.version,
                     },
                 )
+                payload_bytes = _recorded_payload_bytes(entry)
         self.events.append(
             ArtifactEvent(
                 name=name,
@@ -377,6 +408,7 @@ class ArtifactResolver:
                 persistent=spec.persistent,
                 # repro: lint-ignore[R004] -- manifest timing, not key material
                 seconds=time.perf_counter() - started,
+                bytes=payload_bytes,
             )
         )
         self._memory[name] = value
@@ -414,7 +446,9 @@ def canonical_frozen(san):
         rebuilt.add_attribute_edge(
             social, attribute, attr_type=info.attr_type, value=info.value
         )
-    return rebuilt.freeze()
+    from ..graph.columnar import maybe_spill
+
+    return maybe_spill(rebuilt.freeze())
 
 
 # ----------------------------------------------------------------------
@@ -422,6 +456,32 @@ def canonical_frozen(san):
 # ----------------------------------------------------------------------
 def _save_san(san, path: Path) -> None:
     save_san_json(san, path / "san.json")
+
+
+def _save_frozen_san(san, path: Path) -> None:
+    save_columnar(san, path / "san.col")
+
+
+def _load_frozen_san(path: Path):
+    # Served copy-free: the CSR arrays are np.memmap views of the cache
+    # entry itself, so a warm hit costs one header parse, not an edge scan.
+    return open_columnar(path / "san.col", mmap_mode="r")
+
+
+def _save_frozen_snapshot_list(snapshots, path: Path) -> None:
+    days = []
+    for day, san in snapshots:
+        save_columnar(san, path / f"day-{day:05d}.col")
+        days.append(day)
+    (path / "days.json").write_text(json.dumps(days), encoding="utf-8")
+
+
+def _load_frozen_snapshot_list(path: Path):
+    days = json.loads((path / "days.json").read_text(encoding="utf-8"))
+    return [
+        (day, open_columnar(path / f"day-{day:05d}.col", mmap_mode="r"))
+        for day in days
+    ]
 
 
 def _load_san(path: Path):
@@ -623,13 +683,20 @@ def _build_snapshots(resolver: ArtifactResolver):
     return list(resolver.artifact("snapshot_series"))
 
 
-@artifact("frozen_snapshots", needs=("snapshot_series",))
+@artifact(
+    "frozen_snapshots",
+    needs=("snapshot_series",),
+    version="2",
+    save=_save_frozen_snapshot_list,
+    load=_load_frozen_snapshot_list,
+)
 def _build_frozen_snapshots(resolver: ArtifactResolver):
-    """CSR-backed frozen views of every crawled snapshot (memory views).
+    """CSR-backed frozen views of every crawled snapshot.
 
-    Not persisted: the canonical rebuild from the cached ``snapshot_series``
-    is exactly the work a disk load would redo, so persisting would double
-    the store's largest artifact class for no warm-run saving.
+    Persisted as columnar files since the binary format landed: a warm hit
+    mmaps the canonical CSR arrays straight out of the store — no JSON
+    re-parse, no canonical rebuild, and no dependence on the parent
+    ``snapshot_series`` being materialised at all.
     """
     return [
         (day, canonical_frozen(san))
@@ -643,9 +710,15 @@ def _build_reference_san(resolver: ArtifactResolver):
     return resolver.artifact("snapshot_series").last()
 
 
-@artifact("frozen_reference", needs=("reference_san",))
+@artifact(
+    "frozen_reference",
+    needs=("reference_san",),
+    version="2",
+    save=_save_frozen_san,
+    load=_load_frozen_san,
+)
 def _build_frozen_reference(resolver: ArtifactResolver):
-    """Frozen view of the reference SAN (memory view; freeze-once)."""
+    """Frozen view of the reference SAN (columnar on disk, mmap on warm hits)."""
     return canonical_frozen(resolver.artifact("reference_san"))
 
 
@@ -724,30 +797,55 @@ def _build_zhel_san(resolver: ArtifactResolver):
     return generate_zhel_san(params, rng=resolver.scenario.seed, record_history=False).san
 
 
-# Frozen memory views of the generated SANs.  Beyond running the model-
-# evaluation stages on the vectorized kernels, the CSR form is *canonical*
-# (rows sorted), so stages consuming these produce byte-identical payloads
-# whether the parent SAN was freshly generated or loaded from the cache —
-# the mutable backend's set-based adjacency does not guarantee that.
-@artifact("frozen_model_san", needs=("model_san",))
+# Frozen views of the generated SANs, persisted as columnar files.  Beyond
+# running the model-evaluation stages on the vectorized kernels, the CSR form
+# is *canonical* (rows sorted), so stages consuming these produce
+# byte-identical payloads whether the parent SAN was freshly generated,
+# rebuilt from its JSON cache entry, or mmapped from a columnar entry — the
+# mutable backend's set-based adjacency does not guarantee that.
+@artifact(
+    "frozen_model_san",
+    needs=("model_san",),
+    version="2",
+    save=_save_frozen_san,
+    load=_load_frozen_san,
+)
 def _build_frozen_model_san(resolver: ArtifactResolver):
-    """Frozen view of the fitted model SAN (memory view; freeze-once)."""
+    """Frozen view of the fitted model SAN (columnar on disk)."""
     return canonical_frozen(resolver.artifact("model_san"))
 
 
-@artifact("frozen_model_no_focal_san", needs=("model_no_focal_san",))
+@artifact(
+    "frozen_model_no_focal_san",
+    needs=("model_no_focal_san",),
+    version="2",
+    save=_save_frozen_san,
+    load=_load_frozen_san,
+)
 def _build_frozen_model_no_focal_san(resolver: ArtifactResolver):
     """Frozen view of the no-focal-closure ablation SAN."""
     return canonical_frozen(resolver.artifact("model_no_focal_san"))
 
 
-@artifact("frozen_model_no_lapa_san", needs=("model_no_lapa_san",))
+@artifact(
+    "frozen_model_no_lapa_san",
+    needs=("model_no_lapa_san",),
+    version="2",
+    save=_save_frozen_san,
+    load=_load_frozen_san,
+)
 def _build_frozen_model_no_lapa_san(resolver: ArtifactResolver):
     """Frozen view of the no-LAPA ablation SAN."""
     return canonical_frozen(resolver.artifact("model_no_lapa_san"))
 
 
-@artifact("frozen_zhel_san", needs=("zhel_san",))
+@artifact(
+    "frozen_zhel_san",
+    needs=("zhel_san",),
+    version="2",
+    save=_save_frozen_san,
+    load=_load_frozen_san,
+)
 def _build_frozen_zhel_san(resolver: ArtifactResolver):
     """Frozen view of the Zhel baseline SAN."""
     return canonical_frozen(resolver.artifact("zhel_san"))

@@ -144,6 +144,7 @@ class PipelineResult:
                     "status": event.status,
                     "persistent": event.persistent,
                     "seconds": round(event.seconds, 6),
+                    "bytes": event.bytes,
                 }
                 for event in events
             ],

@@ -13,8 +13,10 @@ Presets
 -------
 ``paper-default``
     The standard benchmark workload (~4k users over 98 days).
-``tiny`` / ``small`` / ``large``
-    The canonical workload sizes from :mod:`repro.synthetic.workloads`.
+``tiny`` / ``small`` / ``large`` / ``huge``
+    The canonical workload sizes from :mod:`repro.synthetic.workloads`;
+    ``huge`` (~5M users) is the out-of-core regime served by the columnar
+    storage tier and is not part of the CI validate matrix.
 ``sparse`` / ``dense`` / ``high-reciprocity``
     Stress regimes far from the Google+ operating point (low density, high
     density, mutual-link-heavy).
@@ -39,6 +41,7 @@ from ..synthetic.workloads import (
     dense_config,
     flash_crowd_config,
     high_reciprocity_config,
+    huge_config,
     large_config,
     small_config,
     sparse_config,
@@ -100,6 +103,11 @@ class Scenario:
     #: deterministic per scenario.
     privacy_hide_links: float = 0.0
     privacy_hide_attributes: float = 0.0
+    #: Whether the preset ships a checked-in answer key and runs in the CI
+    #: validate matrix.  ``False`` only for regimes too large to calibrate a
+    #: key against (``huge``); never entered in ``cache_token`` — it changes
+    #: what CI runs, not what any artifact contains.
+    validated: bool = True
     description: str = ""
 
     def snapshot_days(self) -> List[int]:
@@ -222,6 +230,20 @@ register_scenario(
         name="large",
         config=large_config(),
         description="~10k users — more statistical resolution",
+    ),
+)
+register_scenario(
+    "huge",
+    lambda: Scenario(
+        name="huge",
+        config=huge_config(),
+        snapshot_count=6,
+        clustering_samples=1500,
+        max_links=600,
+        max_edges=600,
+        validated=False,
+        description="~5M users — the out-of-core regime; run with REPRO_MMAP=1 "
+        "so frozen graphs spill to mmap-backed columnar files",
     ),
 )
 register_scenario(

@@ -10,8 +10,24 @@ from .builders import (
     san_from_edge_lists,
     san_from_profiles,
 )
+from .columnar import (
+    FORMAT_VERSION,
+    columnar_info,
+    is_mmap_backed,
+    load_columnar_extras,
+    maybe_spill,
+    mmap_forced,
+    open_columnar,
+    save_columnar,
+    spill_to_mmap,
+)
 from .digraph import DiGraph
 from .errors import (
+    ColumnarEndiannessError,
+    ColumnarFormatError,
+    ColumnarMagicError,
+    ColumnarTruncatedError,
+    ColumnarVersionError,
     DuplicateNodeError,
     EdgeNotFoundError,
     FrozenGraphError,
@@ -20,7 +36,12 @@ from .errors import (
     NodeNotFoundError,
     SerializationError,
 )
-from .frozen import FrozenBipartiteAttributeGraph, FrozenDiGraph, FrozenSAN
+from .frozen import (
+    FrozenBipartiteAttributeGraph,
+    FrozenDiGraph,
+    FrozenSAN,
+    IdentityLabels,
+)
 from .protocol import DiGraphView, SANView
 from .san import SAN
 from .serialization import load_san_json, load_san_tsv, save_san_json, save_san_tsv
@@ -33,8 +54,18 @@ __all__ = [
     "FrozenBipartiteAttributeGraph",
     "FrozenDiGraph",
     "FrozenSAN",
+    "IdentityLabels",
     "DiGraphView",
     "SANView",
+    "FORMAT_VERSION",
+    "save_columnar",
+    "open_columnar",
+    "load_columnar_extras",
+    "columnar_info",
+    "maybe_spill",
+    "spill_to_mmap",
+    "mmap_forced",
+    "is_mmap_backed",
     "attribute_node_id",
     "complete_seed_san",
     "merge_sans",
@@ -52,4 +83,9 @@ __all__ = [
     "InvalidNodeKindError",
     "SerializationError",
     "FrozenGraphError",
+    "ColumnarFormatError",
+    "ColumnarMagicError",
+    "ColumnarVersionError",
+    "ColumnarTruncatedError",
+    "ColumnarEndiannessError",
 ]

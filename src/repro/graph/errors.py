@@ -49,6 +49,44 @@ class SerializationError(GraphError, ValueError):
     """A SAN file could not be parsed or written."""
 
 
+class ColumnarFormatError(GraphError, ValueError):
+    """A columnar graph file is malformed or cannot be interpreted.
+
+    Base class for the named failure modes below so callers can catch one
+    exception for "this file is not usable" while tests and the CLI can
+    distinguish the specific cause.
+    """
+
+    def __init__(self, path: object, reason: str) -> None:
+        super().__init__(f"{path}: {reason}")
+        self.path = path
+        self.reason = reason
+
+
+class ColumnarMagicError(ColumnarFormatError):
+    """The file does not start with the columnar magic bytes."""
+
+
+class ColumnarVersionError(ColumnarFormatError):
+    """The file's format version is not supported by this reader."""
+
+    def __init__(self, path: object, found: int, supported: int) -> None:
+        super().__init__(
+            path,
+            f"format version {found} is not supported (reader supports <= {supported})",
+        )
+        self.found = found
+        self.supported = supported
+
+
+class ColumnarTruncatedError(ColumnarFormatError):
+    """The file is shorter than its header or declared sections require."""
+
+
+class ColumnarEndiannessError(ColumnarFormatError):
+    """The file's byte-order sentinel does not decode as little-endian."""
+
+
 class FrozenGraphError(GraphError, TypeError):
     """A mutating operation was attempted on a frozen (read-only) graph."""
 

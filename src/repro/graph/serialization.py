@@ -17,11 +17,15 @@ round-trips through disk without an intermediate manual ``freeze()`` call.
 from __future__ import annotations
 
 import json
+from array import array
 from pathlib import Path
-from typing import TYPE_CHECKING, Union
+from typing import TYPE_CHECKING, Tuple, Union
 
+import numpy as np
+
+from .bipartite import AttributeInfo
 from .builders import attribute_node_id
-from .errors import SerializationError
+from .errors import InvalidNodeKindError, SerializationError
 from .san import SAN
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -54,8 +58,14 @@ def load_san_tsv(
     Social node ids are parsed back to integers when possible so a round trip
     through disk preserves the library's integer-id convention.  With
     ``frozen=True`` the result is returned as a read-only CSR-backed
-    :class:`~repro.graph.frozen.FrozenSAN`.
+    :class:`~repro.graph.frozen.FrozenSAN`, built by streaming the TSV
+    straight into compact-id edge arrays — the mutable dict-of-sets
+    intermediate is only constructed when mutability is actually requested.
     """
+    if frozen:
+        from .columnar import maybe_spill
+
+        return maybe_spill(_stream_frozen_san_tsv(Path(social_path), Path(attribute_path)))
     san = SAN()
     social_path = Path(social_path)
     attribute_path = Path(attribute_path)
@@ -87,7 +97,131 @@ def load_san_tsv(
                 attr_type=attr_type,
                 value=value,
             )
-    return san.freeze() if frozen else san
+    return san
+
+
+def _dedup_edge_arrays(
+    src: np.ndarray, dst: np.ndarray, dst_space: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Drop duplicate ``(src, dst)`` pairs; output order is irrelevant because
+    the CSR builder re-sorts every row."""
+    if src.size == 0:
+        return src, dst
+    stride = max(dst_space, 1)
+    keys = np.unique(src * stride + dst)
+    return keys // stride, keys % stride
+
+
+def _stream_frozen_san_tsv(social_path: Path, attribute_path: Path) -> "FrozenSAN":
+    """Stream a TSV pair directly into a :class:`FrozenSAN`.
+
+    Produces the same network as ``load_san_tsv(..., frozen=False).freeze()``
+    — identical node interning order (first appearance in file order),
+    duplicate-edge collapsing, and first-seen-wins attribute metadata — but
+    the adjacency only ever exists as growable int64 edge arrays that are
+    packed into CSR form with vectorized sorts, never as Python dicts of
+    sets.
+    """
+    from .frozen import (
+        FrozenBipartiteAttributeGraph,
+        FrozenDiGraph,
+        FrozenSAN,
+        csr_from_edge_arrays,
+    )
+
+    social_index: dict = {}
+    social_labels: list = []
+    attr_index: dict = {}
+    attr_labels: list = []
+    attr_info: list = []
+
+    def intern_social(label) -> int:
+        i = social_index.get(label)
+        if i is None:
+            if label in attr_index:
+                raise InvalidNodeKindError(label, "social")
+            i = len(social_labels)
+            social_index[label] = i
+            social_labels.append(label)
+        return i
+
+    def intern_attr(label, attr_type: str, value: str) -> int:
+        i = attr_index.get(label)
+        if i is None:
+            if label in social_index:
+                raise InvalidNodeKindError(label, "attribute")
+            i = len(attr_labels)
+            attr_index[label] = i
+            attr_labels.append(label)
+            attr_info.append(AttributeInfo(attr_type=attr_type, value=value))
+        return i
+
+    social_src = array("q")
+    social_dst = array("q")
+    with social_path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            parts = line.split("\t")
+            if len(parts) != 2:
+                raise SerializationError(
+                    f"{social_path}:{line_number}: expected 2 fields, got {len(parts)}"
+                )
+            social_src.append(intern_social(_parse_node(parts[0])))
+            social_dst.append(intern_social(_parse_node(parts[1])))
+
+    link_social = array("q")
+    link_attr = array("q")
+    with attribute_path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            parts = line.split("\t")
+            if len(parts) != 3:
+                raise SerializationError(
+                    f"{attribute_path}:{line_number}: expected 3 fields, got {len(parts)}"
+                )
+            social, attr_type, value = parts
+            link_social.append(intern_social(_parse_node(social)))
+            link_attr.append(
+                intern_attr(attribute_node_id(attr_type, value), attr_type, value)
+            )
+
+    num_social = len(social_labels)
+    num_attrs = len(attr_labels)
+    src, dst = _dedup_edge_arrays(
+        np.frombuffer(social_src, dtype=np.int64),
+        np.frombuffer(social_dst, dtype=np.int64),
+        num_social,
+    )
+    ls, la = _dedup_edge_arrays(
+        np.frombuffer(link_social, dtype=np.int64),
+        np.frombuffer(link_attr, dtype=np.int64),
+        num_attrs,
+    )
+
+    out_indptr, out_indices = csr_from_edge_arrays(src, dst, num_social)
+    in_indptr, in_indices = csr_from_edge_arrays(dst, src, num_social)
+    social = FrozenDiGraph(
+        social_labels, out_indptr, out_indices, in_indptr, in_indices,
+        index=social_index,
+    )
+    sa_indptr, sa_indices = csr_from_edge_arrays(ls, la, num_social)
+    as_indptr, as_indices = csr_from_edge_arrays(la, ls, num_attrs)
+    attributes = FrozenBipartiteAttributeGraph(
+        social.labels(),
+        social_index,
+        attr_labels,
+        attr_info,
+        sa_indptr,
+        sa_indices,
+        as_indptr,
+        as_indices,
+        attr_index=attr_index,
+    )
+    return FrozenSAN(social, attributes)
 
 
 def save_san_json(san: SANLike, path: PathLike) -> None:
@@ -133,7 +267,11 @@ def load_san_json(path: PathLike, frozen: bool = False) -> SANLike:
             attr_type=record.get("type", "generic"),
             value=record.get("value"),
         )
-    return san.freeze() if frozen else san
+    if frozen:
+        from .columnar import maybe_spill
+
+        return maybe_spill(san.freeze())
+    return san
 
 
 def _parse_node(token: str):

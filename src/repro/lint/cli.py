@@ -27,10 +27,11 @@ def default_target() -> Path:
 def add_parser(subparsers: argparse._SubParsersAction) -> argparse.ArgumentParser:
     """Attach the ``lint`` subcommand to the main ``repro`` parser."""
     lint_help = (
-        "run the invariant linter (rules R001-R009: seeded RNG, scipy "
+        "run the invariant linter (rules R001-R010: seeded RNG, scipy "
         "containment, registry dispatch, content-derived caches, "
         "shared-memory hygiene, cache-token soundness, parallel-worker "
-        "purity, seed-stream discipline) over src/repro or the given paths"
+        "purity, seed-stream discipline, storage hygiene) over src/repro "
+        "or the given paths"
     )
     parser = subparsers.add_parser("lint", help=lint_help, description=lint_help)
     parser.add_argument(

@@ -1,4 +1,4 @@
-"""The invariant catalog: concrete rules R001-R009.
+"""The invariant catalog: concrete rules R001-R010.
 
 Each rule encodes one load-bearing convention of this repository (the PR
 that introduced it is named in ``docs/architecture.md``'s invariant
@@ -1064,6 +1064,72 @@ class ParallelWorkerPurity(Rule):
                     if callee is not None and node.func.id not in visited:
                         visited.add(node.func.id)
                         queue.append(callee)
+
+
+# -- R010: storage hygiene -------------------------------------------------
+
+#: The one module allowed to serialize raw graph arrays (the versioned,
+#: aligned, endianness-tagged columnar writer).
+_COLUMNAR_BOUNDARY = "graph/columnar.py"
+
+#: Canonical dotted paths of ad-hoc numpy array serialization.
+_NUMPY_SAVERS = {
+    "numpy.save",
+    "numpy.savez",
+    "numpy.savez_compressed",
+    "numpy.lib.format.write_array",
+}
+
+
+@register_rule
+class StorageHygiene(Rule):
+    """Graph arrays persist only through the columnar format (PR 10).
+
+    An ad-hoc ``array.tofile()`` / ``np.save()`` of CSR arrays writes a
+    headerless (or ``.npy``-headered) blob with no magic, no format version,
+    no section alignment, and no endianness tag — unreadable by
+    ``open_columnar``, invisible to the artifact store's integrity hashing,
+    and a fork of the on-disk format the first time its layout drifts.
+    """
+
+    rule_id = "R010"
+    name = "storage-hygiene"
+    description = (
+        "no ad-hoc array serialization (ndarray.tofile, numpy.save/savez) "
+        "outside graph/columnar.py; frozen-graph arrays persist through "
+        "save_columnar()/open_columnar() so every file carries the "
+        "versioned, aligned, endianness-tagged header"
+    )
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        if module.package_relpath == _COLUMNAR_BOUNDARY:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = module.resolve_dotted(node.func)
+            if dotted in _NUMPY_SAVERS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{dotted}() writes an ad-hoc array file outside "
+                    "graph/columnar.py; persist graph arrays via "
+                    "save_columnar() so the file carries the versioned "
+                    "columnar header",
+                )
+            elif (
+                dotted is None
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "tofile"
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "tofile() writes a raw headerless array dump outside "
+                    "graph/columnar.py; persist graph arrays via "
+                    "save_columnar() (versioned header, 64-byte alignment, "
+                    "little-endian on disk)",
+                )
 
 
 # -- R009: seed-stream discipline -----------------------------------------

@@ -231,7 +231,9 @@ class FastSANModelRun:
             self._snapshots = [(mark.step, self.frozen_at(mark)) for mark in self.marks]
         return self._snapshots
 
-    def frozen_at(self, mark: Optional[SnapshotMark]) -> FrozenSAN:
+    def frozen_at(
+        self, mark: Optional[SnapshotMark], *, spill: Optional[object] = None
+    ) -> FrozenSAN:
         """Materialize the network at ``mark`` (``None`` = final state).
 
         The append-only edge log is sorted once (four lexsorts, cached); any
@@ -240,6 +242,12 @@ class FastSANModelRun:
         restricted to positions below the watermark.  Materializing ``k``
         snapshots therefore costs one sort plus ``k`` linear passes, not
         ``k`` sorts.
+
+        ``spill`` names a columnar file path: the snapshot is written there
+        and re-opened mmap-backed so its CSR arrays live on disk, which keeps
+        materializing many watermarks of a ``huge``-scale run within a fixed
+        RAM budget.  (``REPRO_MMAP=1`` forces the same round trip through a
+        self-deleting temp file for every snapshot.)
         """
         if mark is None:
             n = self.num_social_nodes
@@ -305,7 +313,15 @@ class FastSANModelRun:
             as_indptr,
             as_indices,
         )
-        return FrozenSAN(social, attributes)
+        san = FrozenSAN(social, attributes)
+        if spill is not None:
+            from ..graph.columnar import open_columnar, save_columnar
+
+            save_columnar(san, spill)
+            return open_columnar(spill, mmap_mode="r")
+        from ..graph.columnar import maybe_spill
+
+        return maybe_spill(san)
 
     def to_san(self) -> SAN:
         """Rebuild a mutable :class:`~repro.graph.san.SAN` (thaw-equivalent)."""

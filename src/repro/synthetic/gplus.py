@@ -682,8 +682,13 @@ class GooglePlusSimulator:
         return None
 
     def _weighted_attribute_of(self, san: SAN, source: Node, rng) -> Optional[Node]:
-        """Pick one of the source's attributes weighted by its type's focal weight."""
-        attributes = list(san.attribute_neighbors(source))
+        """Pick one of the source's attributes weighted by its type's focal weight.
+
+        The neighbor set holds string attribute ids, whose set-iteration order
+        varies with ``PYTHONHASHSEED``; sorting pins the cumulative-weight draw
+        so the simulation is a pure function of its RNG seed.
+        """
+        attributes = sorted(san.attribute_neighbors(source))
         if not attributes:
             return None
         weights = [

@@ -1,0 +1,26 @@
+"""R010 clean fixture: arrays persisted through the columnar boundary, plus
+lookalikes the rule must not flag (parsed, never run)."""
+
+import json
+
+import numpy as np
+
+from repro.graph import open_columnar, save_columnar
+
+
+def persist_frozen(san, path):
+    save_columnar(san, path)
+    return open_columnar(path, mmap_mode="r")
+
+
+def reading_is_fine(path):
+    # Loading has no hygiene hazard; only ad-hoc *writes* fork the format.
+    return np.load(path)
+
+
+def non_array_io(payload, path):
+    # tofile is only flagged as a method call; attribute mentions and
+    # ordinary text serialization stay clean.
+    method = getattr(payload, "tofile", None)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"has_tofile": method is not None}, handle)

@@ -1,0 +1,20 @@
+"""R010 fixture: ad-hoc array serialization outside the columnar boundary
+(parsed, never run)."""
+
+import numpy as np
+from numpy.lib.format import write_array
+
+
+def dump_csr_raw(indptr, indices, handle):
+    indptr.tofile("indptr.bin")  # expect[R010]
+    indices.tofile(handle)  # expect[R010]
+
+
+def dump_csr_npy(indptr, indices):
+    np.save("indptr.npy", indptr)  # expect[R010]
+    np.savez("csr.npz", indptr=indptr, indices=indices)  # expect[R010]
+    np.savez_compressed("csr_small.npz", indices=indices)  # expect[R010]
+
+
+def dump_via_format(array, handle):
+    write_array(handle, array)  # expect[R010]

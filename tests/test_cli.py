@@ -323,3 +323,62 @@ def test_likelihood_rejects_steps_with_snapshots(tmp_path, capsys):
     )
     assert exit_code == 2
     assert "mutually exclusive" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# convert
+# ----------------------------------------------------------------------
+def test_convert_tsv_to_columnar_with_verify(tmp_path, capsys, figure1_san):
+    social, attrs = tmp_path / "social.tsv", tmp_path / "attrs.tsv"
+    save_san_tsv(figure1_san, social, attrs)
+    out = tmp_path / "san.col"
+    exit_code = main(
+        [
+            "convert",
+            "--social", str(social),
+            "--attributes", str(attrs),
+            "--out", str(out),
+            "--verify",
+        ]
+    )
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert f"wrote {out}" in output
+    assert "verified" in output
+    from repro.graph import open_columnar
+
+    san = open_columnar(out)
+    assert san.number_of_social_edges() == figure1_san.number_of_social_edges()
+
+
+def test_convert_info_prints_header_summary(tmp_path, capsys, figure1_san):
+    from repro.graph import save_columnar
+
+    path = tmp_path / "san.col"
+    save_columnar(figure1_san, path)
+    assert main(["convert", "--info", str(path)]) == 0
+    output = capsys.readouterr().out
+    assert "columnar v1 kind=san" in output
+    assert "social_out_indptr" in output
+    assert "social_edges=10" in output
+
+
+def test_convert_requires_a_source_and_an_output(tmp_path, capsys):
+    assert main(["convert", "--out", str(tmp_path / "x.col")]) == 2
+    assert "--social/--attributes" in capsys.readouterr().err
+    assert main(["convert", "--social", "a.tsv", "--attributes", "b.tsv"]) == 2
+    assert "--out" in capsys.readouterr().err
+
+
+def test_convert_rejects_mixed_sources(tmp_path, capsys):
+    exit_code = main(
+        [
+            "convert",
+            "--json", str(tmp_path / "san.json"),
+            "--social", str(tmp_path / "social.tsv"),
+            "--attributes", str(tmp_path / "attrs.tsv"),
+            "--out", str(tmp_path / "x.col"),
+        ]
+    )
+    assert exit_code == 2
+    assert "mutually exclusive" in capsys.readouterr().err

@@ -243,6 +243,27 @@ def test_cache_invalidation_on_recipe_version_bump(tmp_path):
         unregister_artifact("t_versioned")
 
 
+def test_warm_columnar_hit_is_mmap_backed_with_sized_marker(
+    tiny_pipeline, pipeline_cache
+):
+    """Warm frozen-graph hits are zero-parse: served as mmap views of the
+    cache entry, whose marker records the payload hash and size from write
+    time."""
+    from repro.graph import is_mmap_backed
+
+    resolver = ArtifactResolver(get_scenario("tiny"), cache_dir=pipeline_cache)
+    frozen = resolver.artifact("frozen_reference")
+    event = next(e for e in resolver.events if e.name == "frozen_reference")
+    assert event.status == "cached"
+    assert is_mmap_backed(frozen)
+    entry = resolver.store.entry_path("frozen_reference", event.key)
+    marker = json.loads((entry / "ARTIFACT.json").read_text(encoding="utf-8"))
+    payload_files = [p for p in entry.rglob("*") if p.is_file() and p.name != "ARTIFACT.json"]
+    assert marker["payload_bytes"] == sum(p.stat().st_size for p in payload_files) > 0
+    assert len(marker["payload_sha256"]) == 64
+    assert event.bytes == marker["payload_bytes"]
+
+
 def test_warm_rerun_recomputes_no_artifact(tiny_pipeline, pipeline_cache):
     warm = run_pipeline("tiny", figures=PARITY_FIGURES, cache_dir=pipeline_cache)
     assert warm.recomputed_persistent_artifacts() == []

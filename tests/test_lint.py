@@ -166,7 +166,7 @@ class TestRuleSelection:
     def test_catalog_is_complete(self):
         assert sorted(all_rules()) == [
             "R001", "R002", "R003", "R004", "R005", "R006",
-            "R007", "R008", "R009",
+            "R007", "R008", "R009", "R010",
         ]
         for rule in all_rules().values():
             assert rule.name and rule.description
